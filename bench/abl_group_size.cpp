@@ -1,0 +1,56 @@
+// Ablation: group size N (Sec. III-B discussion).
+//
+// "The number of TSVs in a group (N) can be selected based on the desired
+// oscillation frequency. ... By appending extra segments, we increase the
+// delay and thus reduce the oscillation frequency, relaxing the speed
+// requirement on the measurement circuitry."
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "digital/period_meter.hpp"
+
+using namespace rotsv;
+using namespace rotsv::benchutil;
+
+int main() {
+  banner("Ablation -- ring-oscillator group size N vs frequency / counter speed");
+
+  const RoRunOptions run = run_options(1.1);
+  const std::vector<int> sizes =
+      fast_mode() ? std::vector<int>{1, 3} : std::vector<int>{1, 2, 3, 5, 7};
+
+  CsvWriter csv(out_path("abl_group_size.csv"),
+                {"n", "period_s", "freq_mhz", "counter_bits_for_5us"});
+  Series series{"oscillation frequency", {}, {}, '*'};
+  double prev_period = 0.0;
+  bool monotone = true;
+  for (int n : sizes) {
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = n;
+    RingOscillator ro(cfg);
+    ro.enable_first(1);
+    const RoMeasurement m = measure_period(ro, run);
+    if (!m.oscillating) {
+      std::printf("N=%d: did not oscillate (unexpected)\n", n);
+      continue;
+    }
+    const double freq = 1.0 / m.period;
+    const int bits = PeriodMeter::required_bits(m.period, 5e-6);
+    std::printf("N=%d: T = %s (%.0f MHz), 5 us window needs a %d-bit counter\n", n,
+                format_time(m.period).c_str(), freq / 1e6, bits);
+    csv.row({static_cast<double>(n), m.period, freq / 1e6, static_cast<double>(bits)});
+    series.x.push_back(n);
+    series.y.push_back(freq / 1e6);
+    if (m.period < prev_period) monotone = false;
+    prev_period = m.period;
+  }
+
+  ChartOptions opt;
+  opt.title = "larger N => lower frequency => relaxed measurement logic";
+  opt.x_label = "N (TSVs per ring)";
+  opt.y_label = "frequency [MHz]";
+  print_chart({series}, opt);
+
+  std::printf("\nshape check (period grows with N): %s\n", monotone ? "PASS" : "FAIL");
+  return monotone ? 0 : 1;
+}

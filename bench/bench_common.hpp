@@ -1,0 +1,68 @@
+// Shared helpers for the experiment-reproduction benches: consistent run
+// options, sample-count control via environment, CSV output location and
+// chart printing.
+//
+// Environment knobs:
+//   ROTSV_SAMPLES  Monte-Carlo dice per population (default 8)
+//   ROTSV_FAST=1   cut sweeps/samples further for smoke runs
+//   ROTSV_OUT      directory for CSV dumps (default "bench_out")
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "ro/ro_runner.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv::benchutil {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("ROTSV_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline int mc_samples(int normal = 8, int fast = 4) {
+  if (const char* v = std::getenv("ROTSV_SAMPLES")) {
+    const int n = std::atoi(v);
+    if (n >= 2) return n;
+  }
+  return fast_mode() ? fast : normal;
+}
+
+inline std::string out_dir() {
+  const char* v = std::getenv("ROTSV_OUT");
+  std::string dir = v != nullptr ? v : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline std::string out_path(const std::string& file) { return out_dir() + "/" + file; }
+
+/// Run options tuned per supply voltage: lower VDD needs longer windows.
+inline RoRunOptions run_options(double vdd) {
+  RoRunOptions opt;
+  opt.discard_cycles = 2;
+  opt.measure_cycles = 3;
+  opt.first_window = vdd >= 1.0 ? 40e-9 : (vdd >= 0.85 ? 80e-9 : 160e-9);
+  opt.max_time = 500e-9;
+  return opt;
+}
+
+inline void print_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  std::printf("%s\n", render_chart(series, options).c_str());
+}
+
+inline void banner(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rotsv::benchutil

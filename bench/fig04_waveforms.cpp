@@ -1,0 +1,99 @@
+// Reproduces Fig. 4: voltage waveforms at the I/O cell output ("to core")
+// for a step input, comparing fault-free, a 3 kOhm resistive open at x = 0.5
+// and a 3 kOhm leakage fault at VDD = 1.1 V.
+//
+// Paper: the open *reduces* the propagation delay (-20 ps there) and the
+// leak *increases* it (+30 ps there); the exact ps values depend on the
+// technology cards, the signs and tens-of-ps magnitudes are the claim.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cells/gates.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+#include "tsv/tsv_model.hpp"
+
+using namespace rotsv;
+using namespace rotsv::benchutil;
+
+namespace {
+
+struct WaveResult {
+  double delay = 0.0;
+  std::vector<double> t;
+  std::vector<double> v;
+};
+
+WaveResult io_cell_response(const TsvFault& fault) {
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  const NodeId in = c.node("in");
+  const NodeId tsv = c.node("tsv");
+  const NodeId rcv = c.node("rcv");
+  c.add_voltage_source("vin", in, kGround,
+                       SourceWaveform::step(0.0, 1.1, 0.1e-9, 20e-12));
+  make_buffer(ctx, "drv", in, tsv, 4);               // I/O driver
+  attach_tsv(c, "via", tsv, TsvTechnology::paper(), fault);
+  make_buffer(ctx, "rx", tsv, rcv, 1);               // receiver "to core"
+  c.add_capacitor("cload", rcv, kGround, 2e-15);     // core input load
+
+  TransientOptions t;
+  t.t_stop = 1.5e-9;
+  t.record = {in, rcv};
+  const TransientResult r = run_transient(c, t);
+
+  WaveResult out;
+  out.delay = propagation_delay(r.waveforms, in, rcv, 0.55, Edge::kRising, Edge::kRising);
+  out.t = r.waveforms.time();
+  out.v = r.waveforms.values(rcv);
+  return out;
+}
+
+Series to_series(const WaveResult& w, const std::string& label, char glyph) {
+  Series s{label, {}, {}, glyph};
+  for (size_t i = 0; i < w.t.size(); i += 2) {
+    if (w.t[i] < 0.05e-9 || w.t[i] > 0.9e-9) continue;
+    s.x.push_back(w.t[i] * 1e12);
+    s.y.push_back(w.v[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 4 -- I/O cell output waveforms: fault-free vs 3k open vs 3k leak");
+
+  const WaveResult ff = io_cell_response(TsvFault::none());
+  const WaveResult open = io_cell_response(TsvFault::open(3000.0, 0.5));
+  const WaveResult leak = io_cell_response(TsvFault::leakage(3000.0));
+
+  std::printf("rising-edge propagation delay (input -> 'to core'):\n");
+  std::printf("  fault-free          : %s\n", format_time(ff.delay).c_str());
+  std::printf("  3 kOhm open, x=0.5  : %s  (shift %+.1f ps; paper: -20 ps)\n",
+              format_time(open.delay).c_str(), (open.delay - ff.delay) * 1e12);
+  std::printf("  3 kOhm leakage      : %s  (shift %+.1f ps; paper: +30 ps)\n",
+              format_time(leak.delay).c_str(), (leak.delay - ff.delay) * 1e12);
+
+  ChartOptions opt;
+  opt.title = "V_out at 'to core' after a step input (VDD = 1.1 V)";
+  opt.x_label = "time [ps]";
+  opt.y_label = "V_out [V]";
+  print_chart({to_series(ff, "fault-free", '*'), to_series(open, "3k open x=0.5", 'o'),
+               to_series(leak, "3k leakage", '+')},
+              opt);
+
+  CsvWriter csv(out_path("fig04_waveforms.csv"),
+                {"case", "delay_s", "shift_ps"});
+  csv.row_strings({"fault_free", format("%.6g", ff.delay), "0"});
+  csv.row_strings({"open_3k_x0.5", format("%.6g", open.delay),
+                   format("%.2f", (open.delay - ff.delay) * 1e12)});
+  csv.row_strings({"leak_3k", format("%.6g", leak.delay),
+                   format("%.2f", (leak.delay - ff.delay) * 1e12)});
+
+  const bool shape_ok = open.delay < ff.delay && leak.delay > ff.delay;
+  std::printf("\nshape check (open faster, leak slower): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

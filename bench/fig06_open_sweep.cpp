@@ -1,0 +1,67 @@
+// Reproduces Fig. 6: dT = T1 - T2 as a function of the resistive-open size
+// R_O (0 .. 3 kOhm) at fault location x = 0.5, VDD = 1.1 V, N = 5 TSVs per
+// ring -- exactly the paper's sweep.
+//
+// Paper observations to match:
+//  * dT decreases monotonically as R_O grows;
+//  * a 1 kOhm open changes dT by ~10 % relative to fault-free.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace rotsv;
+using namespace rotsv::benchutil;
+
+int main() {
+  banner("Fig. 6 -- dT vs resistive-open size R_O (x = 0.5, VDD = 1.1 V, N = 5)");
+
+  const RoRunOptions run = run_options(1.1);
+  const std::vector<double> r_values = fast_mode()
+      ? std::vector<double>{0, 500, 1000, 2000, 3000}
+      : std::vector<double>{0, 200, 400, 600, 800, 1000, 1250, 1500, 2000, 2500, 3000};
+
+  CsvWriter csv(out_path("fig06_open_sweep.csv"),
+                {"r_open_ohm", "t1_s", "t2_s", "delta_t_s", "delta_vs_ff_percent"});
+  Series series{"dT(R_O)", {}, {}, '*'};
+
+  double dt_ff = 0.0;
+  bool monotone = true;
+  double prev = 1e9;
+  double dt_at_1k = 0.0;
+  for (double r : r_values) {
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = 5;
+    cfg.faults = {r == 0.0 ? TsvFault::none() : TsvFault::open(r, 0.5)};
+    RingOscillator ro(cfg);
+    const DeltaTResult d = measure_delta_t(ro, 1, run);
+    if (!d.valid) {
+      std::printf("R_O=%6.0f Ohm: did not oscillate (unexpected)\n", r);
+      continue;
+    }
+    if (r == 0.0) dt_ff = d.delta_t;
+    if (r == 1000.0) dt_at_1k = d.delta_t;
+    const double pct = dt_ff > 0.0 ? (d.delta_t - dt_ff) / dt_ff * 100.0 : 0.0;
+    std::printf("R_O=%6.0f Ohm: T1=%s T2=%s dT=%s (%+.1f%% vs fault-free)\n", r,
+                format_time(d.t1).c_str(), format_time(d.t2).c_str(),
+                format_time(d.delta_t).c_str(), pct);
+    csv.row({r, d.t1, d.t2, d.delta_t, pct});
+    series.x.push_back(r / 1000.0);
+    series.y.push_back(d.delta_t * 1e12);
+    if (d.delta_t > prev + 1e-13) monotone = false;
+    prev = d.delta_t;
+  }
+
+  ChartOptions opt;
+  opt.title = "dT vs R_O (paper Fig. 6)";
+  opt.x_label = "R_O [kOhm]";
+  opt.y_label = "dT [ps]";
+  print_chart({series}, opt);
+
+  std::printf("\nshape checks:\n");
+  std::printf("  dT monotone decreasing in R_O : %s\n", monotone ? "PASS" : "FAIL");
+  if (dt_at_1k > 0.0 && dt_ff > 0.0) {
+    const double drop = (dt_ff - dt_at_1k) / dt_ff * 100.0;
+    std::printf("  1 kOhm open dT reduction      : %.1f%% (paper: ~10%%)\n", drop);
+  }
+  return monotone ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// google-benchmark micro-benchmarks of the simulation engine itself: LU
+// factorization, EKV model evaluation, MNA assembly, transient stepping and
+// a full ring-oscillator period measurement.
+#include <benchmark/benchmark.h>
+
+#include "cells/gates.hpp"
+#include "linalg/lu.hpp"
+#include "ro/ring_oscillator.hpp"
+#include "ro/ro_runner.hpp"
+#include "sim/mna.hpp"
+#include "sim/transient.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+namespace {
+
+void BM_LuSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    LuFactorization lu(a);
+    Vector x = lu.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(16)->Arg(48)->Arg(96)->Arg(160);
+
+void BM_EkvEvaluate(benchmark::State& state) {
+  const auto& card = ptm45lp_nmos();
+  MosInstanceParams p;
+  double vg = 0.0;
+  for (auto _ : state) {
+    vg += 1e-6;
+    MosEval e = ekv_evaluate(card, p, 0.5 + vg, 1.1, 0.0);
+    benchmark::DoNotOptimize(e.id);
+  }
+}
+BENCHMARK(BM_EkvEvaluate);
+
+void BM_MnaAssembleInverterChain(benchmark::State& state) {
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  NodeId prev = c.node("in");
+  c.add_voltage_source("vin", prev, kGround, SourceWaveform::dc(0.0));
+  for (int i = 0; i < state.range(0); ++i) {
+    NodeId next = c.node("n" + std::to_string(i));
+    make_inverter(ctx, "inv" + std::to_string(i), prev, next);
+    prev = next;
+  }
+  c.add_capacitor("cl", prev, kGround, 1e-15);
+  MnaSystem mna(c);
+  Vector v(c.nodes().unknown_count() + 1, 0.0);
+  LoadContext lc;
+  lc.kind = AnalysisKind::kTransient;
+  lc.h = 1e-12;
+  lc.time = 1e-12;
+  lc.v = &v;
+  lc.v_prev = &v;
+  Vector state_prev(c.state_count(), 0.0);
+  Vector state_now(c.state_count(), 0.0);
+  lc.state_prev = state_prev.data();
+  lc.state_now = state_now.data();
+  for (auto _ : state) {
+    mna.assemble(lc);
+    benchmark::DoNotOptimize(mna.rhs().data());
+  }
+}
+BENCHMARK(BM_MnaAssembleInverterChain)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_TransientInverterChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Circuit c;
+    CellContext ctx = CellContext::standard(c);
+    c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+    NodeId prev = c.node("in");
+    c.add_voltage_source(
+        "vin", prev, kGround,
+        SourceWaveform::pulse(0.0, 1.1, 0.1e-9, 20e-12, 20e-12, 1e-9, 2e-9));
+    for (int i = 0; i < 8; ++i) {
+      NodeId next = c.node("n" + std::to_string(i));
+      make_inverter(ctx, "inv" + std::to_string(i), prev, next);
+      prev = next;
+    }
+    c.add_capacitor("cl", prev, kGround, 5e-15);
+    TransientOptions t;
+    t.t_stop = 2e-9;
+    t.record = {prev};
+    TransientResult r = run_transient(c, t);
+    benchmark::DoNotOptimize(r.stats.steps_accepted);
+  }
+}
+BENCHMARK(BM_TransientInverterChain)->Unit(benchmark::kMillisecond);
+
+void BM_RingOscillatorPeriod(benchmark::State& state) {
+  for (auto _ : state) {
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = static_cast<int>(state.range(0));
+    RingOscillator ro(cfg);
+    ro.enable_first(1);
+    RoRunOptions opt;
+    opt.discard_cycles = 2;
+    opt.measure_cycles = 3;
+    opt.first_window = 30e-9;
+    opt.max_time = 60e-9;
+    RoMeasurement m = measure_period(ro, opt);
+    benchmark::DoNotOptimize(m.period);
+  }
+}
+BENCHMARK(BM_RingOscillatorPeriod)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rotsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Reproduces the Sec. IV-D DfT area estimate exactly, then extends it with
+// scaling tables (TSV count, group size N) and the single-TSV baseline
+// comparison.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dft/area.hpp"
+#include "dft/scheduler.hpp"
+
+using namespace rotsv;
+using namespace rotsv::benchutil;
+
+int main() {
+  banner("Sec. IV-D -- DfT area cost");
+
+  // The paper's exact example.
+  DftAreaConfig paper;
+  paper.tsv_count = 1000;
+  paper.group_size = 5;
+  paper.die_area_mm2 = 25.0;
+  const DftAreaReport r = estimate_dft_area(paper);
+  std::printf("paper example: 1000 TSVs, N = 5, 25 mm^2 die\n");
+  std::printf("  2 x 1000 MUX2 @ 3.75 um^2 = %.0f um^2\n", r.mux_area_um2);
+  std::printf("  200 INV @ 1.41 um^2       = %.0f um^2\n", r.inverter_area_um2);
+  std::printf("  total                     = %.0f um^2 (paper: 7782 um^2)\n",
+              r.total_um2);
+  std::printf("  fraction of die           = %.4f%% (paper: < 0.04%%)\n",
+              r.fraction_of_die * 100.0);
+  const bool exact = r.total_um2 == 7782.0;
+
+  std::printf("\nscaling with TSV count (N = 5):\n");
+  CsvWriter csv(out_path("tab_area_cost.csv"),
+                {"tsv_count", "group_size", "total_um2", "fraction_of_die"});
+  for (int tsvs : {100, 500, 1000, 5000, 10000}) {
+    DftAreaConfig cfg = paper;
+    cfg.tsv_count = tsvs;
+    const DftAreaReport rep = estimate_dft_area(cfg);
+    std::printf("  %6d TSVs: %9.0f um^2 (%.4f%% of die)\n", tsvs, rep.total_um2,
+                rep.fraction_of_die * 100.0);
+    csv.row({static_cast<double>(tsvs), 5.0, rep.total_um2, rep.fraction_of_die});
+  }
+
+  std::printf("\nscaling with group size N (1000 TSVs):\n");
+  for (int n : {1, 2, 5, 10, 20}) {
+    DftAreaConfig cfg = paper;
+    cfg.group_size = n;
+    const DftAreaReport rep = estimate_dft_area(cfg);
+    std::printf("  N = %2d: %9.0f um^2 (%d inverters)\n", n, rep.total_um2,
+                rep.inverter_count);
+    csv.row({1000.0, static_cast<double>(n), rep.total_um2, rep.fraction_of_die});
+  }
+
+  std::printf("\nsingle-TSV baseline [14] (one oscillator per TSV, custom I/O):\n");
+  const DftAreaReport base = estimate_single_tsv_baseline_area(paper);
+  std::printf("  baseline: %.0f um^2 vs proposed %.0f um^2 (%.1fx)\n", base.total_um2,
+              r.total_um2, base.total_um2 / r.total_um2);
+
+  std::printf("\nwith shared measurement logic included (10-bit counter + control):\n");
+  DftAreaConfig with_meas = paper;
+  with_meas.include_measurement_logic = true;
+  const DftAreaReport rm = estimate_dft_area(with_meas);
+  std::printf("  total = %.0f um^2 (%.4f%% of die) -- still negligible\n",
+              rm.total_um2, rm.fraction_of_die * 100.0);
+
+  std::printf("\nexact reproduction of the paper's 7782 um^2: %s\n",
+              exact ? "PASS" : "FAIL");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's DfT ring oscillator around a group of TSVs,
+// inject a fault into one of them, run the two-run dT measurement and read
+// the verdict -- the library's core loop in ~40 lines.
+#include <cstdio>
+
+#include "ro/ring_oscillator.hpp"
+#include "ro/ro_runner.hpp"
+#include "stats/classifier.hpp"
+#include "util/strings.hpp"
+
+using namespace rotsv;
+
+int main() {
+  // A ring oscillator with N = 5 TSVs (X4 drivers, the paper's 59 fF TSV
+  // technology). TSV 0 carries a micro-void: a 1.5 kOhm resistive open
+  // halfway down the via.
+  RingOscillatorConfig config;
+  config.num_tsvs = 5;
+  config.vdd = 1.1;
+  config.faults = {TsvFault::open(1500.0, 0.5)};
+  RingOscillator ring(config);
+
+  // Two-run measurement: T1 with TSV 0 in the loop, T2 with all bypassed.
+  RoRunOptions run;
+  const DeltaTResult faulty = measure_delta_t_single(ring, /*tsv_index=*/0, run);
+
+  // Golden reference: the same measurement on a fault-free ring.
+  RingOscillatorConfig golden_cfg = config;
+  golden_cfg.faults.clear();
+  RingOscillator golden(golden_cfg);
+  const DeltaTResult good = measure_delta_t_single(golden, 0, run);
+
+  std::printf("fault-free: T1 = %s, T2 = %s, dT = %s\n", format_time(good.t1).c_str(),
+              format_time(good.t2).c_str(), format_time(good.delta_t).c_str());
+  std::printf("faulty    : T1 = %s, T2 = %s, dT = %s\n", format_time(faulty.t1).c_str(),
+              format_time(faulty.t2).c_str(), format_time(faulty.delta_t).c_str());
+
+  // Classify against a +/-20 ps band around the golden dT (demo band; the
+  // production flow derives it from Monte-Carlo calibration, see
+  // examples/wafer_screening.cpp).
+  const DeltaTClassifier classifier =
+      DeltaTClassifier::from_band(good.delta_t - 20e-12, good.delta_t + 20e-12);
+  const TsvVerdict verdict =
+      faulty.stuck ? TsvVerdict::kStuck : classifier.classify(faulty.delta_t);
+  std::printf("verdict   : %s (dT shifted by %s)\n", verdict_name(verdict),
+              format_time(faulty.delta_t - good.delta_t).c_str());
+  return verdict == TsvVerdict::kResistiveOpen ? 0 : 1;
+}

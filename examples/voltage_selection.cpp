@@ -1,0 +1,73 @@
+// Voltage-plan design: the paper's key insight is that each supply voltage
+// covers a different leakage range (the hypersensitive region just above
+// that voltage's oscillation-death threshold) while opens prefer the highest
+// voltage. This example maps the coverage windows so a test engineer can
+// pick the voltage set for a target leakage specification.
+#include <cstdio>
+#include <vector>
+
+#include "ro/ring_oscillator.hpp"
+#include "ro/ro_runner.hpp"
+#include "util/strings.hpp"
+
+using namespace rotsv;
+
+namespace {
+
+// Smallest R_L that still oscillates at this voltage (bisection between
+// bracket endpoints); everything below it is a trivially-detected stuck-at.
+double death_threshold(double vdd) {
+  RoRunOptions run;
+  run.first_window = vdd >= 1.0 ? 40e-9 : 120e-9;
+  run.max_time = 300e-9;
+  double dead = 200.0;     // known stuck
+  double alive = 20000.0;  // known oscillating
+  for (int iter = 0; iter < 6; ++iter) {
+    const double mid = 0.5 * (dead + alive);
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = 2;  // small ring: faster, same driver/TSV physics
+    cfg.vdd = vdd;
+    cfg.faults = {TsvFault::leakage(mid)};
+    RingOscillator ro(cfg);
+    ro.set_vdd(vdd);
+    const DeltaTResult d = measure_delta_t(ro, 1, run);
+    if (d.stuck) {
+      dead = mid;
+    } else {
+      alive = mid;
+    }
+  }
+  return 0.5 * (dead + alive);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mapping leakage coverage windows per supply voltage\n");
+  std::printf("(TSV: 59 fF, X4 driver; threshold = oscillation-death R_L)\n\n");
+
+  const std::vector<double> voltages = {1.2, 1.1, 1.0, 0.9};
+  std::printf("%-8s %-22s %-30s\n", "VDD", "death threshold R_L*",
+              "hypersensitive window (approx)");
+  double prev_threshold = 0.0;
+  for (double vdd : voltages) {
+    const double rl_star = death_threshold(vdd);
+    // The hypersensitive region spans roughly R_L* .. 3 * R_L*: dT changes by
+    // tens of percent there (cf. bench/fig08_leak_sweep).
+    std::printf("%-8.2f %-22s %s .. %s\n", vdd,
+                format("%.0f Ohm", rl_star).c_str(),
+                format("%.0f", rl_star).c_str(), format("%.0f Ohm", 3 * rl_star).c_str());
+    if (prev_threshold != 0.0 && rl_star < prev_threshold) {
+      std::printf("         WARNING: threshold decreased at lower VDD -- "
+                  "check calibration\n");
+    }
+    prev_threshold = rl_star;
+  }
+
+  std::printf(
+      "\nreading the table: to guarantee detection of leaks up to R_L = X,\n"
+      "pick the voltage whose window covers X; stack voltages to cover a\n"
+      "range, and add the highest available VDD for resistive opens\n"
+      "(cf. bench/fig07_open_mc_voltage: open aliasing shrinks with VDD).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "cells/cell_library.hpp"
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+CellContext CellContext::standard(Circuit& circuit) {
+  CellContext ctx;
+  ctx.circuit = &circuit;
+  ctx.vdd = circuit.node("vdd");
+  ctx.vss = kGround;
+  return ctx;
+}
+
+double cell_area_um2(CellKind kind) {
+  // MUX2 and INV are the values the paper uses for its area estimate
+  // (Sec. IV-D); the others follow typical Nangate-45 ratios.
+  switch (kind) {
+    case CellKind::kInverter: return 1.41;
+    case CellKind::kBuffer: return 2.12;
+    case CellKind::kNand2: return 1.86;
+    case CellKind::kNor2: return 1.86;
+    case CellKind::kMux2: return 3.75;
+    case CellKind::kTristateBuffer: return 3.19;
+    case CellKind::kDff: return 6.12;
+  }
+  throw ConfigError("unknown cell kind");
+}
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInverter: return "INV";
+    case CellKind::kBuffer: return "BUF";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kTristateBuffer: return "TBUF";
+    case CellKind::kDff: return "DFF";
+  }
+  return "?";
+}
+
+int cell_transistor_count(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInverter: return 2;
+    case CellKind::kBuffer: return 4;
+    case CellKind::kNand2: return 4;
+    case CellKind::kNor2: return 4;
+    case CellKind::kMux2: return 14;  // 3x NAND2 + select inverter
+    case CellKind::kTristateBuffer: return 8;
+    case CellKind::kDff: return 24;
+  }
+  throw ConfigError("unknown cell kind");
+}
+
+MosInstanceParams nmos_params(int strength, double series_stack) {
+  require(strength >= 1, "cell strength must be >= 1");
+  MosInstanceParams p;
+  p.w = kX1WidthNmos * strength * series_stack;
+  p.l = kDrawnLength;
+  return p;
+}
+
+MosInstanceParams pmos_params(int strength, double series_stack) {
+  require(strength >= 1, "cell strength must be >= 1");
+  MosInstanceParams p;
+  p.w = kX1WidthPmos * strength * series_stack;
+  p.l = kDrawnLength;
+  return p;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,56 @@
+// Standard-cell context and the cell-area table used for DfT cost estimates.
+//
+// Cells are generated at transistor level into a Circuit; sizing follows the
+// Nangate 45 nm Open Cell Library conventions the paper references (X1 NMOS
+// 415 nm / PMOS 630 nm, L = 50 nm; Xk scales widths by k). Areas are the
+// figures the paper quotes in Sec. IV-D.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "models/ekv.hpp"
+#include "models/ptm45.hpp"
+
+namespace rotsv {
+
+/// Everything a cell generator needs: target circuit, rails and models.
+struct CellContext {
+  Circuit* circuit = nullptr;
+  NodeId vdd;
+  NodeId vss = kGround;
+  const MosModelCard* nmos = &ptm45lp_nmos();
+  const MosModelCard* pmos = &ptm45lp_pmos();
+
+  /// Convenience: makes a context bound to `circuit` with a "vdd" rail node.
+  static CellContext standard(Circuit& circuit);
+
+  NodeId node(const std::string& name) const { return circuit->node(name); }
+};
+
+/// Cell kinds with a known standard-cell area.
+enum class CellKind {
+  kInverter,
+  kBuffer,
+  kNand2,
+  kNor2,
+  kMux2,
+  kTristateBuffer,
+  kDff,
+};
+
+/// Standard-cell area in um^2 at X1 drive (Sec. IV-D uses MUX2 = 3.75 um^2
+/// and INV = 1.41 um^2; the rest follow Nangate-typical ratios).
+double cell_area_um2(CellKind kind);
+
+/// Human-readable cell name.
+const char* cell_kind_name(CellKind kind);
+
+/// Transistor count of our transistor-level implementation.
+int cell_transistor_count(CellKind kind);
+
+/// Instance sizing derived from drive strength (strength >= 1).
+MosInstanceParams nmos_params(int strength, double series_stack = 1.0);
+MosInstanceParams pmos_params(int strength, double series_stack = 1.0);
+
+}  // namespace rotsv

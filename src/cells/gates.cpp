@@ -1,0 +1,95 @@
+#include "cells/gates.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+void check(const CellContext& ctx) {
+  require(ctx.circuit != nullptr, "CellContext has no circuit");
+}
+
+}  // namespace
+
+void make_inverter(const CellContext& ctx, const std::string& name, NodeId in,
+                   NodeId out, int strength) {
+  check(ctx);
+  Circuit& c = *ctx.circuit;
+  c.add_mosfet(name + ".mp", out, in, ctx.vdd, ctx.vdd, ctx.pmos, pmos_params(strength));
+  c.add_mosfet(name + ".mn", out, in, ctx.vss, ctx.vss, ctx.nmos, nmos_params(strength));
+}
+
+void make_buffer(const CellContext& ctx, const std::string& name, NodeId in,
+                 NodeId out, int strength) {
+  check(ctx);
+  const NodeId mid = ctx.circuit->node(name + ".x");
+  const int first = std::max(strength / 2, 1);
+  make_inverter(ctx, name + ".i0", in, mid, first);
+  make_inverter(ctx, name + ".i1", mid, out, strength);
+}
+
+void make_nand2(const CellContext& ctx, const std::string& name, NodeId a, NodeId b,
+                NodeId out, int strength) {
+  check(ctx);
+  Circuit& c = *ctx.circuit;
+  // Parallel PMOS pull-up, series NMOS pull-down (stack width doubled).
+  c.add_mosfet(name + ".mpa", out, a, ctx.vdd, ctx.vdd, ctx.pmos, pmos_params(strength));
+  c.add_mosfet(name + ".mpb", out, b, ctx.vdd, ctx.vdd, ctx.pmos, pmos_params(strength));
+  const NodeId mid = c.node(name + ".s");
+  c.add_mosfet(name + ".mna", out, a, mid, ctx.vss, ctx.nmos,
+               nmos_params(strength, 2.0));
+  c.add_mosfet(name + ".mnb", mid, b, ctx.vss, ctx.vss, ctx.nmos,
+               nmos_params(strength, 2.0));
+}
+
+void make_nor2(const CellContext& ctx, const std::string& name, NodeId a, NodeId b,
+               NodeId out, int strength) {
+  check(ctx);
+  Circuit& c = *ctx.circuit;
+  // Series PMOS pull-up (stack width doubled), parallel NMOS pull-down.
+  const NodeId mid = c.node(name + ".s");
+  c.add_mosfet(name + ".mpa", mid, a, ctx.vdd, ctx.vdd, ctx.pmos,
+               pmos_params(strength, 2.0));
+  c.add_mosfet(name + ".mpb", out, b, mid, ctx.vdd, ctx.pmos,
+               pmos_params(strength, 2.0));
+  c.add_mosfet(name + ".mna", out, a, ctx.vss, ctx.vss, ctx.nmos, nmos_params(strength));
+  c.add_mosfet(name + ".mnb", out, b, ctx.vss, ctx.vss, ctx.nmos, nmos_params(strength));
+}
+
+void make_mux2(const CellContext& ctx, const std::string& name, NodeId a, NodeId b,
+               NodeId sel, NodeId out, int strength) {
+  check(ctx);
+  Circuit& c = *ctx.circuit;
+  const NodeId sel_b = c.node(name + ".selb");
+  const NodeId na = c.node(name + ".na");
+  const NodeId nb = c.node(name + ".nb");
+  make_inverter(ctx, name + ".isel", sel, sel_b, 1);
+  make_nand2(ctx, name + ".ga", a, sel_b, na, 1);
+  make_nand2(ctx, name + ".gb", b, sel, nb, 1);
+  make_nand2(ctx, name + ".gy", na, nb, out, strength);
+}
+
+void make_tristate_buffer(const CellContext& ctx, const std::string& name, NodeId in,
+                          NodeId en, NodeId out, int strength) {
+  check(ctx);
+  Circuit& c = *ctx.circuit;
+  const NodeId in_b = c.node(name + ".inb");
+  const NodeId en_b = c.node(name + ".enb");
+  make_inverter(ctx, name + ".iin", in, in_b, std::max(strength / 2, 1));
+  make_inverter(ctx, name + ".ien", en, en_b, 1);
+  // Tri-state inverter: VDD - mp_in - mp_en - out - mn_en - mn_in - VSS.
+  const NodeId pm = c.node(name + ".pm");
+  const NodeId nm = c.node(name + ".nm");
+  c.add_mosfet(name + ".mpi", pm, in_b, ctx.vdd, ctx.vdd, ctx.pmos,
+               pmos_params(strength, 2.0));
+  c.add_mosfet(name + ".mpe", out, en_b, pm, ctx.vdd, ctx.pmos,
+               pmos_params(strength, 2.0));
+  c.add_mosfet(name + ".mne", out, en, nm, ctx.vss, ctx.nmos,
+               nmos_params(strength, 2.0));
+  c.add_mosfet(name + ".mni", nm, in_b, ctx.vss, ctx.vss, ctx.nmos,
+               nmos_params(strength, 2.0));
+}
+
+}  // namespace rotsv

@@ -1,0 +1,43 @@
+// Transistor-level gate generators. Each call instantiates MOSFETs (and the
+// internal nodes it needs) into the context's circuit; node names are
+// prefixed with the instance name so generated netlists stay debuggable.
+//
+// All gates are static-CMOS; the MUX2 is a NAND-tree implementation (no
+// transmission gates) so every internal node is always actively driven --
+// this keeps the Newton iteration robust and matches standard-cell practice.
+#pragma once
+
+#include <string>
+
+#include "cells/cell_library.hpp"
+
+namespace rotsv {
+
+/// out = NOT in.
+void make_inverter(const CellContext& ctx, const std::string& name, NodeId in,
+                   NodeId out, int strength = 1);
+
+/// out = in (two inverters; the second is `strength`, the first strength/2,
+/// minimum 1 -- a typical buffer taper).
+void make_buffer(const CellContext& ctx, const std::string& name, NodeId in,
+                 NodeId out, int strength = 1);
+
+/// out = NOT (a AND b).
+void make_nand2(const CellContext& ctx, const std::string& name, NodeId a, NodeId b,
+                NodeId out, int strength = 1);
+
+/// out = NOT (a OR b).
+void make_nor2(const CellContext& ctx, const std::string& name, NodeId a, NodeId b,
+               NodeId out, int strength = 1);
+
+/// out = sel ? b : a. NAND-tree MUX2 (3 NAND2 + select inverter).
+void make_mux2(const CellContext& ctx, const std::string& name, NodeId a, NodeId b,
+               NodeId sel, NodeId out, int strength = 1);
+
+/// Tri-state buffer: out = in when en = 1, high-Z when en = 0.
+/// Implemented as input inverter + enable inverter + tri-state inverter with
+/// the output stage at `strength`.
+void make_tristate_buffer(const CellContext& ctx, const std::string& name, NodeId in,
+                          NodeId en, NodeId out, int strength = 1);
+
+}  // namespace rotsv

@@ -1,0 +1,85 @@
+#include "circuit/circuit.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+template <typename T, typename... Args>
+T& Circuit::emplace(Args&&... args) {
+  auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+  T& ref = *owned;
+  add_device(std::move(owned));
+  return ref;
+}
+
+Device& Circuit::add_device(std::unique_ptr<Device> device) {
+  if (find_device(device->name()) != nullptr)
+    throw NetlistError("duplicate device name: " + device->name());
+  device->set_branch_base(branches_);
+  device->set_state_base(states_);
+  branches_ += device->num_branches();
+  states_ += device->num_states();
+  devices_.push_back(std::move(device));
+  return *devices_.back();
+}
+
+Resistor& Circuit::add_resistor(const std::string& name, NodeId a, NodeId b, double ohms) {
+  return emplace<Resistor>(name, a, b, ohms);
+}
+
+Capacitor& Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                  double farads) {
+  return emplace<Capacitor>(name, a, b, farads);
+}
+
+VoltageSource& Circuit::add_voltage_source(const std::string& name, NodeId p, NodeId n,
+                                           SourceWaveform waveform) {
+  return emplace<VoltageSource>(name, p, n, std::move(waveform));
+}
+
+CurrentSource& Circuit::add_current_source(const std::string& name, NodeId p, NodeId n,
+                                           SourceWaveform waveform) {
+  return emplace<CurrentSource>(name, p, n, std::move(waveform));
+}
+
+Mosfet& Circuit::add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                            NodeId b, const MosModelCard* card, MosInstanceParams params) {
+  return emplace<Mosfet>(name, d, g, s, b, card, params);
+}
+
+Device* Circuit::find_device(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+std::vector<Mosfet*> Circuit::mosfets() const {
+  std::vector<Mosfet*> out;
+  for (const auto& d : devices_) {
+    if (auto* m = dynamic_cast<Mosfet*>(d.get())) out.push_back(m);
+  }
+  return out;
+}
+
+void Circuit::check_connectivity(bool allow_single_terminal) const {
+  std::unordered_map<int, int> degree;
+  for (const auto& d : devices_) {
+    for (NodeId n : d->terminals()) {
+      if (!n.is_ground()) ++degree[n.value];
+    }
+  }
+  const int min_degree = allow_single_terminal ? 1 : 2;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const int deg = degree.count(static_cast<int>(i)) ? degree.at(static_cast<int>(i)) : 0;
+    if (deg < min_degree) {
+      throw NetlistError(format("node '%s' has %d device terminal(s) attached",
+                                nodes_.name(NodeId{static_cast<int>(i)}).c_str(), deg));
+    }
+  }
+}
+
+}  // namespace rotsv

@@ -1,0 +1,68 @@
+// Circuit container: owns the node table and all devices, assigns MNA branch
+// and state indices, and offers a typed builder API used by the cell library
+// and the netlist parser.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/device.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/node.hpp"
+#include "circuit/passive.hpp"
+#include "circuit/sources.hpp"
+
+namespace rotsv {
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  // --- nodes -------------------------------------------------------------
+  NodeId node(const std::string& name) { return nodes_.get_or_create(name); }
+  NodeId find_node(const std::string& name) const { return nodes_.find(name); }
+  const NodeTable& nodes() const { return nodes_; }
+
+  // --- device builders ---------------------------------------------------
+  Resistor& add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  Capacitor& add_capacitor(const std::string& name, NodeId a, NodeId b, double farads);
+  VoltageSource& add_voltage_source(const std::string& name, NodeId p, NodeId n,
+                                    SourceWaveform waveform);
+  CurrentSource& add_current_source(const std::string& name, NodeId p, NodeId n,
+                                    SourceWaveform waveform);
+  Mosfet& add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s, NodeId b,
+                     const MosModelCard* card, MosInstanceParams params);
+
+  /// Adds an already-constructed device (used by the parser). Returns it.
+  Device& add_device(std::unique_ptr<Device> device);
+
+  // --- introspection -----------------------------------------------------
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+  Device* find_device(const std::string& name) const;
+
+  /// All MOSFETs, for Monte-Carlo perturbation.
+  std::vector<Mosfet*> mosfets() const;
+
+  size_t device_count() const { return devices_.size(); }
+  size_t branch_count() const { return branches_; }
+  size_t state_count() const { return states_; }
+
+  /// Number of MNA unknowns: non-ground nodes + source branches.
+  size_t unknown_count() const { return nodes_.unknown_count() + branches_; }
+
+  /// Throws NetlistError when a non-ground node has fewer than 2 device
+  /// terminals attached (dangling) -- catches wiring bugs in generated cells.
+  void check_connectivity(bool allow_single_terminal = false) const;
+
+ private:
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args);
+
+  NodeTable nodes_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  size_t branches_ = 0;
+  size_t states_ = 0;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,135 @@
+// Device base class and the Stamper/LoadContext contract between devices and
+// the simulation engine.
+//
+// The engine solves J * v_new = rhs each Newton iteration, where v_new is the
+// full unknown vector (node voltages followed by source branch currents).
+// Devices stamp their linearized large-signal model: for a device current
+// I(v) flowing a->b they stamp the conductances dI/dv and the equivalent
+// current I(v_k) - sum(dI/dv * v_k), which is the standard SPICE
+// Newton-Raphson companion formulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/node.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rotsv {
+
+enum class AnalysisKind {
+  kDcOperatingPoint,  ///< capacitors open, sources at DC value
+  kTransient,         ///< capacitors replaced by integration companions
+};
+
+enum class Integrator {
+  kBackwardEuler,
+  kTrapezoidal,
+};
+
+/// Per-load-call context handed to Device::load().
+struct LoadContext {
+  AnalysisKind kind = AnalysisKind::kDcOperatingPoint;
+  Integrator method = Integrator::kBackwardEuler;
+  double time = 0.0;  ///< time being solved (end of the step)
+  double h = 0.0;     ///< timestep; 0 for DC
+
+  /// Node voltages of the current Newton iterate, indexed by NodeId::value
+  /// (entry 0 is ground and always 0).
+  const Vector* v = nullptr;
+  /// Node voltages at the previously accepted timepoint (same indexing).
+  const Vector* v_prev = nullptr;
+
+  /// Device dynamic state (e.g. capacitor branch currents) at the previously
+  /// accepted timepoint, and the slot written for the current step. Both are
+  /// offset by the device's state base index; null when num_states() == 0.
+  const double* state_prev = nullptr;
+  double* state_now = nullptr;
+
+  /// Shunt conductance to ground added to every node for robustness; devices
+  /// do not normally use it but model evaluation may consult it.
+  double gmin = 1e-12;
+
+  double node_voltage(NodeId n) const { return (*v)[static_cast<size_t>(n.value)]; }
+  double prev_voltage(NodeId n) const { return (*v_prev)[static_cast<size_t>(n.value)]; }
+};
+
+/// Accumulates stamps into the MNA matrix and right-hand side, translating
+/// NodeId/branch ids into unknown rows and dropping ground contributions.
+class Stamper {
+ public:
+  Stamper(Matrix& jacobian, Vector& rhs, size_t node_unknowns)
+      : j_(jacobian), rhs_(rhs), node_unknowns_(node_unknowns) {}
+
+  /// Conductance g between nodes a and b.
+  void conductance(NodeId a, NodeId b, double g);
+
+  /// Current source of value `i` flowing INTO node `into` (out of `from`).
+  void current(NodeId from, NodeId into, double i);
+
+  /// Voltage-controlled current source: current gm*(v_cp - v_cn) flows from
+  /// `out_from` into `out_into`.
+  void vccs(NodeId out_from, NodeId out_into, NodeId ctrl_p, NodeId ctrl_n, double gm);
+
+  /// Branch-row stamps for voltage-defined elements. `branch` is the branch
+  /// index assigned by the engine (0-based across all branches).
+  void branch_voltage(size_t branch, NodeId p, NodeId n, double value);
+
+  /// Adds `g` directly between a node and ground (used for gmin).
+  void shunt_to_ground(NodeId a, double g);
+
+ private:
+  int row_of(NodeId n) const { return n.value - 1; }  // -1 == ground, skipped
+  size_t branch_row(size_t branch) const { return node_unknowns_ + branch; }
+
+  Matrix& j_;
+  Vector& rhs_;
+  size_t node_unknowns_;
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra MNA branch unknowns (voltage sources contribute 1).
+  virtual size_t num_branches() const { return 0; }
+
+  /// Number of dynamic state doubles (previous capacitor currents etc.).
+  virtual size_t num_states() const { return 0; }
+
+  /// Stamps the linearized model for the given context.
+  virtual void load(Stamper& stamper, const LoadContext& ctx) const = 0;
+
+  /// Called once after an accepted timepoint so devices may finalize state;
+  /// default is a no-op (state_now was already written during load()).
+  virtual void commit(const LoadContext& /*ctx*/) {}
+
+  /// Nodes this device touches (for connectivity checks & debugging).
+  virtual std::vector<NodeId> terminals() const = 0;
+
+  // Engine bookkeeping: assigned bases for branches and states.
+  void set_branch_base(size_t b) { branch_base_ = b; }
+  void set_state_base(size_t s) { state_base_ = s; }
+  size_t branch_base() const { return branch_base_; }
+  size_t state_base() const { return state_base_; }
+
+ private:
+  std::string name_;
+  size_t branch_base_ = 0;
+  size_t state_base_ = 0;
+};
+
+/// Shared companion-model stamp for a linear capacitor between nodes a and b.
+/// Uses one state slot holding the capacitor current at the previous accepted
+/// timepoint (needed by the trapezoidal rule). `state_offset` selects which
+/// slot of the owning device to use.
+void stamp_capacitor(Stamper& stamper, const LoadContext& ctx, NodeId a, NodeId b,
+                     double capacitance, size_t state_offset, size_t state_base);
+
+}  // namespace rotsv

@@ -1,0 +1,55 @@
+#include "circuit/mosfet.hpp"
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+               const MosModelCard* card, MosInstanceParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), card_(card),
+      params_(params) {
+  if (card_ == nullptr) throw NetlistError("mosfet " + this->name() + ": null model card");
+  refresh_caps();
+}
+
+void Mosfet::refresh_caps() { caps_ = ekv_capacitances(*card_, params_); }
+
+void Mosfet::load(Stamper& stamper, const LoadContext& ctx) const {
+  const double vd = ctx.node_voltage(d_);
+  const double vg = ctx.node_voltage(g_);
+  const double vs = ctx.node_voltage(s_);
+  const double vb = ctx.node_voltage(b_);
+
+  // Evaluate in NMOS convention; PMOS flips all bulk-referenced voltages.
+  // For PMOS the drain current into the terminal is -id', and derivatives
+  // w.r.t. real voltages equal the flipped-space derivatives (double sign
+  // flip), so only `id` changes sign below.
+  MosEval e;
+  if (card_->is_nmos) {
+    e = ekv_evaluate(*card_, params_, vg - vb, vd - vb, vs - vb);
+  } else {
+    e = ekv_evaluate(*card_, params_, vb - vg, vb - vd, vb - vs);
+    e.id = -e.id;
+  }
+
+  // dId/dVb completes the zero-row-sum property of a floating device.
+  const double g_b = -(e.g_g + e.g_d + e.g_s);
+
+  // Channel current flows d -> s inside the device. Stamp the linearized
+  // conductances as VCCS entries from each controlling terminal, then the
+  // residual current source.
+  stamper.vccs(d_, s_, g_, kGround, e.g_g);
+  stamper.vccs(d_, s_, d_, kGround, e.g_d);
+  stamper.vccs(d_, s_, s_, kGround, e.g_s);
+  stamper.vccs(d_, s_, b_, kGround, g_b);
+  const double i_eq = e.id - (e.g_g * vg + e.g_d * vd + e.g_s * vs + g_b * vb);
+  stamper.current(d_, s_, i_eq);
+
+  // Intrinsic capacitances.
+  stamp_capacitor(stamper, ctx, g_, s_, caps_.cgs, 0, state_base());
+  stamp_capacitor(stamper, ctx, g_, d_, caps_.cgd, 1, state_base());
+  stamp_capacitor(stamper, ctx, d_, b_, caps_.cdb, 2, state_base());
+  stamp_capacitor(stamper, ctx, s_, b_, caps_.csb, 3, state_base());
+}
+
+}  // namespace rotsv

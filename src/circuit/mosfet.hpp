@@ -1,0 +1,37 @@
+// Four-terminal MOSFET device wrapping the EKV model.
+//
+// The DC channel current uses models/ekv; intrinsic capacitances (Cgs, Cgd,
+// Cdb, Csb) are stamped as linear capacitors derived from the instance
+// geometry, so every gate built from Mosfets is parasitic-aware by default.
+#pragma once
+
+#include "circuit/device.hpp"
+#include "models/ekv.hpp"
+
+namespace rotsv {
+
+class Mosfet : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+         const MosModelCard* card, MosInstanceParams params);
+
+  size_t num_states() const override { return 4; }  // four linear caps
+  void load(Stamper& stamper, const LoadContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {d_, g_, s_, b_}; }
+
+  const MosInstanceParams& params() const { return params_; }
+  /// Mutable access for Monte-Carlo perturbation before a run.
+  MosInstanceParams& mutable_params() { return params_; }
+  const MosModelCard& model() const { return *card_; }
+
+  /// Re-derives capacitances after params() changed (Leff variation).
+  void refresh_caps();
+
+ private:
+  NodeId d_, g_, s_, b_;
+  const MosModelCard* card_;
+  MosInstanceParams params_;
+  MosCaps caps_;
+};
+
+}  // namespace rotsv

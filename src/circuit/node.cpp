@@ -1,0 +1,50 @@
+#include "circuit/node.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+bool is_ground_alias(const std::string& lower) {
+  return lower == "0" || lower == "gnd" || lower == "vss" || lower == "gnd!";
+}
+
+}  // namespace
+
+NodeTable::NodeTable() {
+  names_.push_back("0");
+  by_name_["0"] = 0;
+}
+
+NodeId NodeTable::get_or_create(const std::string& name) {
+  const std::string key = to_lower(name);
+  if (is_ground_alias(key)) return kGround;
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) return NodeId{it->second};
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  by_name_[key] = id;
+  return NodeId{id};
+}
+
+NodeId NodeTable::find(const std::string& name) const {
+  const std::string key = to_lower(name);
+  if (is_ground_alias(key)) return kGround;
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) throw NetlistError("unknown node: " + name);
+  return NodeId{it->second};
+}
+
+bool NodeTable::contains(const std::string& name) const {
+  const std::string key = to_lower(name);
+  return is_ground_alias(key) || by_name_.count(key) > 0;
+}
+
+const std::string& NodeTable::name(NodeId id) const {
+  if (id.value < 0 || static_cast<size_t>(id.value) >= names_.size())
+    throw NetlistError("invalid node id");
+  return names_[static_cast<size_t>(id.value)];
+}
+
+}  // namespace rotsv

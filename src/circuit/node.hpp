@@ -1,0 +1,51 @@
+// Node identity and the circuit-wide node table.
+//
+// Node 0 is always ground; every other node is an MNA unknown. Names are
+// unique; looking up an existing name returns the same id.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rotsv {
+
+/// Strongly-typed node handle. Comparable and hashable; value 0 is ground.
+struct NodeId {
+  int value = 0;
+
+  bool is_ground() const { return value == 0; }
+  bool operator==(const NodeId&) const = default;
+};
+
+/// Ground constant for readability at call sites.
+inline constexpr NodeId kGround{0};
+
+class NodeTable {
+ public:
+  NodeTable();
+
+  /// Returns the node with this name, creating it if needed.
+  /// The names "0", "gnd" and "vss" all alias ground.
+  NodeId get_or_create(const std::string& name);
+
+  /// Returns the node id for `name`; throws NetlistError if absent.
+  NodeId find(const std::string& name) const;
+
+  /// True if a node with this name exists.
+  bool contains(const std::string& name) const;
+
+  const std::string& name(NodeId id) const;
+
+  /// Total node count including ground.
+  size_t size() const { return names_.size(); }
+
+  /// Number of MNA unknowns contributed by nodes (size() - 1).
+  size_t unknown_count() const { return names_.size() - 1; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,25 @@
+#include "circuit/passive.hpp"
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
+  if (!(ohms > 0.0)) throw NetlistError("resistor " + this->name() + ": R must be > 0");
+}
+
+void Resistor::load(Stamper& stamper, const LoadContext& /*ctx*/) const {
+  stamper.conductance(a_, b_, 1.0 / ohms_);
+}
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
+    : Device(std::move(name)), a_(a), b_(b), farads_(farads) {
+  if (!(farads >= 0.0)) throw NetlistError("capacitor " + this->name() + ": C must be >= 0");
+}
+
+void Capacitor::load(Stamper& stamper, const LoadContext& ctx) const {
+  stamp_capacitor(stamper, ctx, a_, b_, farads_, /*state_offset=*/0, state_base());
+}
+
+}  // namespace rotsv

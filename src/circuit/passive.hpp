@@ -1,0 +1,39 @@
+// Linear two-terminal passives: resistor and capacitor.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace rotsv {
+
+class Resistor : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  void load(Stamper& stamper, const LoadContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  double resistance() const { return ohms_; }
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+class Capacitor : public Device {
+ public:
+  /// `initial_voltage` is applied when the transient starts with
+  /// use-initial-conditions semantics and the engine seeds node voltages.
+  Capacitor(std::string name, NodeId a, NodeId b, double farads);
+
+  size_t num_states() const override { return 1; }
+  void load(Stamper& stamper, const LoadContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  double capacitance() const { return farads_; }
+
+ private:
+  NodeId a_, b_;
+  double farads_;
+};
+
+}  // namespace rotsv

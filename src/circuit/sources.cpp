@@ -1,0 +1,98 @@
+#include "circuit/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+SourceWaveform SourceWaveform::dc(double volts) {
+  SourceWaveform w;
+  w.kind_ = Kind::kDc;
+  w.dc_ = volts;
+  return w;
+}
+
+SourceWaveform SourceWaveform::pulse(double v1, double v2, double delay, double rise,
+                                     double fall, double width, double period) {
+  SourceWaveform w;
+  w.kind_ = Kind::kPulse;
+  w.v1_ = v1;
+  w.v2_ = v2;
+  w.delay_ = delay;
+  w.rise_ = std::max(rise, 1e-15);
+  w.fall_ = std::max(fall, 1e-15);
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+SourceWaveform SourceWaveform::pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw ConfigError("PWL source needs at least one point");
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].first < points[i - 1].first)
+      throw ConfigError("PWL points must be sorted by time");
+  }
+  SourceWaveform w;
+  w.kind_ = Kind::kPwl;
+  w.points_ = std::move(points);
+  return w;
+}
+
+SourceWaveform SourceWaveform::step(double v1, double v2, double when, double rise) {
+  return pwl({{0.0, v1}, {when, v1}, {when + std::max(rise, 1e-15), v2}});
+}
+
+double SourceWaveform::at(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return dc_;
+    case Kind::kPulse: {
+      if (t < delay_) return v1_;
+      double tau = t - delay_;
+      if (period_ > 0.0) tau = std::fmod(tau, period_);
+      if (tau < rise_) return v1_ + (v2_ - v1_) * (tau / rise_);
+      tau -= rise_;
+      if (tau < width_) return v2_;
+      tau -= width_;
+      if (tau < fall_) return v2_ + (v1_ - v2_) * (tau / fall_);
+      return v1_;
+    }
+    case Kind::kPwl: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      // Find segment via binary search on time.
+      auto it = std::upper_bound(
+          points_.begin(), points_.end(), t,
+          [](double value, const std::pair<double, double>& p) { return value < p.first; });
+      const auto& hi = *it;
+      const auto& lo = *(it - 1);
+      const double span = hi.first - lo.first;
+      if (span <= 0.0) return hi.second;
+      return lo.second + (hi.second - lo.second) * (t - lo.first) / span;
+    }
+  }
+  return 0.0;
+}
+
+VoltageSource::VoltageSource(std::string name, NodeId p, NodeId n, SourceWaveform waveform)
+    : Device(std::move(name)), p_(p), n_(n), waveform_(std::move(waveform)) {}
+
+void VoltageSource::load(Stamper& stamper, const LoadContext& ctx) const {
+  const double value =
+      ctx.kind == AnalysisKind::kDcOperatingPoint ? waveform_.dc_value() : waveform_.at(ctx.time);
+  stamper.branch_voltage(branch_base(), p_, n_, value);
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId p, NodeId n, SourceWaveform waveform)
+    : Device(std::move(name)), p_(p), n_(n), waveform_(std::move(waveform)) {}
+
+void CurrentSource::load(Stamper& stamper, const LoadContext& ctx) const {
+  const double value =
+      ctx.kind == AnalysisKind::kDcOperatingPoint ? waveform_.dc_value() : waveform_.at(ctx.time);
+  // Current flows out of p, into n.
+  stamper.current(p_, n_, value);
+}
+
+}  // namespace rotsv

@@ -1,0 +1,77 @@
+// Independent sources. Voltage sources contribute one MNA branch unknown
+// (their current); the waveform kinds cover what the experiments need:
+// DC rails, step/pulse stimuli and piecewise-linear ramps.
+#pragma once
+
+#include <vector>
+
+#include "circuit/device.hpp"
+
+namespace rotsv {
+
+/// Time-dependent source value description.
+class SourceWaveform {
+ public:
+  /// Constant value.
+  static SourceWaveform dc(double volts);
+
+  /// SPICE PULSE(v1 v2 delay rise fall width period). period == 0 means a
+  /// single pulse; width is measured at v2 between the ramps.
+  static SourceWaveform pulse(double v1, double v2, double delay, double rise,
+                              double fall, double width, double period = 0.0);
+
+  /// Piecewise linear through (t, v) points; flat extrapolation outside.
+  static SourceWaveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Step from v1 to v2 at `when` with linear transition `rise`.
+  static SourceWaveform step(double v1, double v2, double when, double rise);
+
+  /// Value at absolute time t (DC analyses evaluate at t = 0).
+  double at(double t) const;
+
+  /// Value used for DC operating point (time-0 value).
+  double dc_value() const { return at(0.0); }
+
+ private:
+  enum class Kind { kDc, kPulse, kPwl } kind_ = Kind::kDc;
+  double dc_ = 0.0;
+  // pulse parameters
+  double v1_ = 0.0, v2_ = 0.0, delay_ = 0.0, rise_ = 0.0, fall_ = 0.0, width_ = 0.0,
+         period_ = 0.0;
+  std::vector<std::pair<double, double>> points_;
+};
+
+class VoltageSource : public Device {
+ public:
+  VoltageSource(std::string name, NodeId p, NodeId n, SourceWaveform waveform);
+
+  size_t num_branches() const override { return 1; }
+  void load(Stamper& stamper, const LoadContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {p_, n_}; }
+
+  const SourceWaveform& waveform() const { return waveform_; }
+  /// Replaces the waveform (used to re-run one circuit at several VDDs).
+  void set_waveform(SourceWaveform w) { waveform_ = std::move(w); }
+
+  NodeId positive() const { return p_; }
+  NodeId negative() const { return n_; }
+
+ private:
+  NodeId p_, n_;
+  SourceWaveform waveform_;
+};
+
+class CurrentSource : public Device {
+ public:
+  /// Current flows from p through the source to n (SPICE convention).
+  CurrentSource(std::string name, NodeId p, NodeId n, SourceWaveform waveform);
+
+  void load(Stamper& stamper, const LoadContext& ctx) const override;
+  std::vector<NodeId> terminals() const override { return {p_, n_}; }
+
+ private:
+  NodeId p_, n_;
+  SourceWaveform waveform_;
+};
+
+}  // namespace rotsv

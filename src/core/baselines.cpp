@@ -1,0 +1,82 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+SingleTsvReading run_single_tsv_baseline(const SingleTsvBaselineConfig& config,
+                                         const TsvFault& fault, Rng& rng) {
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 1;
+  cfg.tech = config.tech;
+  cfg.faults = {fault};
+  cfg.vdd = config.vdd;
+  RingOscillator ro(cfg);
+  ro.set_vdd(config.vdd);
+  ro.apply_variation(config.variation, rng);
+
+  const DeltaTResult d = measure_delta_t(ro, 1, config.run);
+  SingleTsvReading out;
+  out.stuck = d.stuck;
+  out.delta_t = d.valid ? d.delta_t : 0.0;
+  return out;
+}
+
+double charge_sharing_nominal_v(const ChargeSharingConfig& config) {
+  return config.vdd * config.c_tsv_nominal / (config.c_tsv_nominal + config.c_share);
+}
+
+ChargeSharingReading run_charge_sharing(const ChargeSharingConfig& config,
+                                        const TsvFault& fault, Rng& rng) {
+  require(config.c_tsv_nominal > 0.0 && config.c_share > 0.0,
+          "charge sharing: capacitances must be > 0");
+
+  // Die-specific capacitance values (process variation).
+  const double c_var = 1.0 + config.cap_variation_rel * std::clamp(rng.normal(), -4.0, 4.0);
+  const double s_var = 1.0 + config.cap_variation_rel * std::clamp(rng.normal(), -4.0, 4.0);
+  double c_tsv = config.c_tsv_nominal * std::max(c_var, 0.5);
+  const double c_share = config.c_share * std::max(s_var, 0.5);
+
+  // Resistive open: the far part of the TSV stays connected through R_O.
+  // Over the microsecond share interval the RC time constant R_O * C is
+  // picoseconds, so the open is invisible unless it approaches a full open
+  // (R_O * C comparable to the share time). Effective connected fraction:
+  double leak_r = 0.0;
+  if (fault.type == TsvFaultType::kResistiveOpen && fault.resistance_ohm > 0.0) {
+    const double c_far = (1.0 - fault.position) * c_tsv;
+    const double tau = (fault.resistance_ohm + config.switch_resistance) * c_far;
+    const double connect = tau > 0.0 ? 1.0 - std::exp(-config.share_time / tau) : 1.0;
+    c_tsv = fault.position * c_tsv + c_far * connect;
+  } else if (fault.type == TsvFaultType::kLeakage) {
+    leak_r = fault.resistance_ohm;
+  }
+
+  // Charge conservation at share: V = VDD * C_tsv / (C_tsv + C_share),
+  // then leak decay over the sense interval.
+  double v = config.vdd * c_tsv / (c_tsv + c_share);
+  if (leak_r > 0.0) {
+    const double tau = leak_r * (c_tsv + c_share);
+    v *= std::exp(-config.share_time / tau);
+  }
+
+  // Sense-amplifier input-referred offset (the method's Achilles heel).
+  v += config.sense_offset_sigma * std::clamp(rng.normal(), -4.0, 4.0);
+  v = std::clamp(v, 0.0, config.vdd);
+
+  ChargeSharingReading out;
+  out.v_sense = v;
+  // The tester inverts the charge-sharing relation to infer C_tsv.
+  if (v > 0.0 && v < config.vdd) {
+    out.c_inferred = c_share * v / (config.vdd - v);
+  } else if (v >= config.vdd) {
+    out.c_inferred = 1.0;  // saturated: nonsense value, flagged by caller
+  } else {
+    out.c_inferred = 0.0;
+  }
+  return out;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,71 @@
+// Comparison baselines from the paper's related-work section.
+//
+// 1. Single-TSV ring-oscillator test (Huang et al. [14]): the same delay
+//    principle, but one dedicated oscillator per TSV with a custom I/O cell
+//    and no shared group -- electrically modelled with our ring machinery at
+//    N = 1; its cost difference shows up in area and test time.
+//
+// 2. Charge-sharing capacitance test (Chen et al. [6]): a TSV is precharged
+//    and its charge shared onto a reference capacitance; a sense amplifier
+//    digitizes the resulting voltage, from which C_tsv is inferred.
+//    Modelled behaviorally (charge conservation + leak decay + sense-amp
+//    offset), because the paper's criticism of this method -- susceptibility
+//    to process variation and the need for custom analog cells -- lives
+//    entirely in those terms. Resistive opens are largely invisible to it:
+//    over microsecond sharing times even a multi-kOhm open keeps the far
+//    capacitance connected, which our model reflects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/monte_carlo.hpp"
+#include "stats/classifier.hpp"
+#include "tsv/fault.hpp"
+
+namespace rotsv {
+
+// --- single-TSV RO baseline ------------------------------------------------
+
+struct SingleTsvBaselineConfig {
+  double vdd = 1.1;
+  TsvTechnology tech = TsvTechnology::paper();
+  VariationModel variation = VariationModel::paper();
+  RoRunOptions run;
+};
+
+struct SingleTsvReading {
+  bool stuck = false;
+  double delta_t = 0.0;
+};
+
+/// Measures dT of a dedicated one-TSV oscillator on one die sample.
+SingleTsvReading run_single_tsv_baseline(const SingleTsvBaselineConfig& config,
+                                         const TsvFault& fault, Rng& rng);
+
+// --- charge-sharing baseline -------------------------------------------------
+
+struct ChargeSharingConfig {
+  double vdd = 1.1;
+  double c_tsv_nominal = 59e-15;   ///< expected TSV capacitance [F]
+  double c_share = 118e-15;        ///< reference/share capacitance [F]
+  double share_time = 1e-6;        ///< precharge-to-sense interval [s]
+  double sense_offset_sigma = 0.015;  ///< sense-amp input offset sigma [V]
+  double cap_variation_rel = 0.05;    ///< relative sigma of on-die caps
+  double switch_resistance = 2e3;     ///< share-switch on-resistance [Ohm]
+};
+
+struct ChargeSharingReading {
+  double v_sense = 0.0;        ///< voltage seen by the sense amp [V]
+  double c_inferred = 0.0;     ///< capacitance deduced from v_sense [F]
+};
+
+/// Simulates one charge-sharing measurement of a (possibly faulty) TSV on
+/// one die sample (cap variation + sense offset drawn from rng).
+ChargeSharingReading run_charge_sharing(const ChargeSharingConfig& config,
+                                        const TsvFault& fault, Rng& rng);
+
+/// Expected fault-free sense voltage (no variation, no offset).
+double charge_sharing_nominal_v(const ChargeSharingConfig& config);
+
+}  // namespace rotsv

@@ -1,0 +1,179 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+
+GroupDiagnosisResult diagnose_group(RingOscillator& dut,
+                                    const GroupDiagnosisConfig& config) {
+  require(dut.config().num_tsvs == config.group_size,
+          "diagnose_group: DUT group size mismatch");
+  GroupDiagnosisResult result;
+
+  // Phase 1: whole-group screen (M = N), one T1/T2 pair.
+  const DeltaTResult group = measure_delta_t(dut, config.group_size, config.run);
+  result.measurements_used = 1;
+  if (group.stuck) {
+    result.group_stuck = true;
+  } else {
+    result.group_delta_t = group.delta_t;
+    if (config.group_band.classify(group.delta_t) == TsvVerdict::kPass) {
+      result.group_clean = true;
+      return result;
+    }
+  }
+
+  // Phase 2: localize with per-TSV measurements. A stuck group is probed the
+  // same way: bypassing the leaky segment revives the ring, so the stuck
+  // TSV is the one whose single-TSV run still fails.
+  for (int i = 0; i < config.group_size; ++i) {
+    const DeltaTResult single = measure_delta_t_single(dut, i, config.run);
+    result.measurements_used++;
+    TsvDiagnosis diag;
+    diag.tsv_index = i;
+    if (single.stuck) {
+      diag.verdict = TsvVerdict::kStuck;
+    } else {
+      diag.delta_t = single.delta_t;
+      diag.verdict = config.single_band.classify(single.delta_t);
+    }
+    if (diag.verdict != TsvVerdict::kPass) result.faulty_tsvs.push_back(diag);
+  }
+  return result;
+}
+
+namespace {
+
+double nominal_delta_t(const GroupDiagnosisConfig& config, const TsvFault& fault,
+                       bool* stuck) {
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = config.group_size;
+  cfg.tech = config.tech;
+  cfg.vdd = config.vdd;
+  if (fault.is_fault()) cfg.faults = {fault};
+  RingOscillator ro(cfg);
+  ro.set_vdd(config.vdd);
+  const DeltaTResult d = measure_delta_t(ro, 1, config.run);
+  if (stuck != nullptr) *stuck = d.stuck;
+  return d.valid ? d.delta_t : 0.0;
+}
+
+std::vector<double> log_spaced(double lo, double hi, int points) {
+  require(lo > 0.0 && hi > lo && points >= 2, "log_spaced: bad range");
+  std::vector<double> out;
+  const double step = std::log(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(lo * std::exp(step * i));
+  return out;
+}
+
+}  // namespace
+
+ResponseCurve ResponseCurve::build_open_curve(const GroupDiagnosisConfig& config,
+                                              double x, double r_min, double r_max,
+                                              int points) {
+  ResponseCurve curve;
+  curve.dt_ff_ = nominal_delta_t(config, TsvFault::none(), nullptr);
+  for (double r : log_spaced(r_min, r_max, points)) {
+    bool stuck = false;
+    const double dt = nominal_delta_t(config, TsvFault::open(r, x), &stuck);
+    if (stuck) continue;
+    curve.sizes_.push_back(r);
+    curve.delta_ts_.push_back(dt);
+  }
+  require(curve.sizes_.size() >= 2, "open response curve: too few valid points");
+  return curve;
+}
+
+ResponseCurve ResponseCurve::build_leak_curve(const GroupDiagnosisConfig& config,
+                                              double r_min, double r_max, int points) {
+  ResponseCurve curve;
+  curve.dt_ff_ = nominal_delta_t(config, TsvFault::none(), nullptr);
+  for (double r : log_spaced(r_min, r_max, points)) {
+    bool stuck = false;
+    const double dt = nominal_delta_t(config, TsvFault::leakage(r), &stuck);
+    if (stuck) continue;  // below the death threshold
+    curve.sizes_.push_back(r);
+    curve.delta_ts_.push_back(dt);
+  }
+  require(curve.sizes_.size() >= 2, "leak response curve: too few valid points");
+  return curve;
+}
+
+std::optional<double> ResponseCurve::invert(double delta_t) const {
+  // The curve is monotone in dT (decreasing for opens as R grows, increasing
+  // for leaks as R grows toward fault-free); handle both orientations.
+  const bool ascending = delta_ts_.front() < delta_ts_.back();
+  const double lo = ascending ? delta_ts_.front() : delta_ts_.back();
+  const double hi = ascending ? delta_ts_.back() : delta_ts_.front();
+  if (delta_t < lo || delta_t > hi) return std::nullopt;
+
+  for (size_t i = 1; i < delta_ts_.size(); ++i) {
+    const double a = delta_ts_[i - 1];
+    const double b = delta_ts_[i];
+    const bool inside = (delta_t >= std::min(a, b)) && (delta_t <= std::max(a, b));
+    if (!inside) continue;
+    const double span = b - a;
+    const double f = span == 0.0 ? 0.5 : (delta_t - a) / span;
+    // Interpolate in log(size) for log-spaced samples.
+    const double ls = std::log(sizes_[i - 1]) +
+                      f * (std::log(sizes_[i]) - std::log(sizes_[i - 1]));
+    return std::exp(ls);
+  }
+  return std::nullopt;
+}
+
+AliasingReport analyze_aliasing(const AliasingConfig& config) {
+  // Fault-free Monte-Carlo population fixes the noise floor.
+  RoMcExperiment exp;
+  exp.ro.num_tsvs = config.group_size;
+  exp.ro.tech = config.tech;
+  exp.variation = config.variation;
+  exp.vdd = config.vdd;
+  exp.enabled_tsvs = 1;
+  exp.run = config.run;
+  McConfig mc;
+  mc.samples = config.mc_samples;
+  mc.seed = config.seed;
+  const RoMcResult ff = run_ro_monte_carlo(mc, exp);
+  require(ff.delta_t.size() >= 2, "aliasing: fault-free MC failed");
+  const Summary s = summarize(ff.delta_t);
+
+  AliasingReport report;
+  report.sigma_delta_t = s.stddev;
+  report.guard_band = config.k_sigma * s.stddev;
+
+  GroupDiagnosisConfig gd;
+  gd.group_size = config.group_size;
+  gd.vdd = config.vdd;
+  gd.tech = config.tech;
+  gd.run = config.run;
+
+  // Smallest detectable open: where the nominal dT drop equals the band.
+  const ResponseCurve open_curve =
+      ResponseCurve::build_open_curve(gd, 0.5, 100.0, 100e3, 9);
+  const double open_target = open_curve.fault_free_delta_t() - report.guard_band;
+  if (auto r = open_curve.invert(open_target)) {
+    report.min_detectable_open = *r;
+  } else {
+    // Band larger than even a full open's shift: nothing detectable.
+    report.min_detectable_open = std::numeric_limits<double>::infinity();
+  }
+
+  // Weakest detectable leak: where the nominal dT rise equals the band
+  // (every stronger leak, down to stuck-at, shifts more).
+  const ResponseCurve leak_curve = ResponseCurve::build_leak_curve(gd, 800.0, 200e3, 9);
+  const double leak_target = leak_curve.fault_free_delta_t() + report.guard_band;
+  if (auto r = leak_curve.invert(leak_target)) {
+    report.max_detectable_leak = *r;
+  } else {
+    report.max_detectable_leak = leak_curve.sizes().front();
+  }
+  return report;
+}
+
+}  // namespace rotsv

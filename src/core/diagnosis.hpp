@@ -1,0 +1,117 @@
+// Diagnosis on top of the screening method.
+//
+// The paper proposes testing M TSVs of a group simultaneously to save test
+// time and notes the trade-off against resolution (Fig. 10), and leaves the
+// quantitative aliasing analysis as future work. This module implements both
+// directions:
+//
+//  * group screen + localization: measure the whole group at once (M = N);
+//    only when the group's dT is out of band, fall back to per-TSV
+//    measurements to localize the faulty via(s) -- the standard two-phase
+//    test-time optimization;
+//  * severity estimation: invert the monotone dT(R_O) / dT(R_L) response
+//    curves (built once per technology by simulation) to estimate the fault
+//    size from the measured dT;
+//  * aliasing analysis (the paper's stated future work): given the
+//    fault-free Monte-Carlo spread at a voltage, compute the smallest open
+//    resistance / the leakage range whose mean dT shift clears a
+//    k-sigma guard band -- the minimum detectable fault.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mc/monte_carlo.hpp"
+#include "stats/classifier.hpp"
+
+namespace rotsv {
+
+// --- two-phase group diagnosis ------------------------------------------------
+
+struct GroupDiagnosisConfig {
+  int group_size = 5;
+  double vdd = 1.1;
+  TsvTechnology tech = TsvTechnology::paper();
+  RoRunOptions run;
+  /// Pass band for the whole-group dT (M = N) and for single-TSV dT.
+  DeltaTClassifier group_band;
+  DeltaTClassifier single_band;
+};
+
+struct TsvDiagnosis {
+  int tsv_index = -1;
+  TsvVerdict verdict = TsvVerdict::kPass;
+  double delta_t = 0.0;
+};
+
+struct GroupDiagnosisResult {
+  bool group_clean = false;        ///< screen passed, no localization needed
+  bool group_stuck = false;        ///< group oscillation dead
+  double group_delta_t = 0.0;
+  std::vector<TsvDiagnosis> faulty_tsvs;  ///< localized faults (phase 2)
+  int measurements_used = 0;       ///< T1/T2 pairs spent
+};
+
+/// Runs the two-phase diagnosis on a physical group (a RingOscillator whose
+/// faults and variation are already applied -- the "device under test").
+GroupDiagnosisResult diagnose_group(RingOscillator& dut,
+                                    const GroupDiagnosisConfig& config);
+
+// --- severity estimation -------------------------------------------------------
+
+/// A monotone response curve dT(fault size) built by simulation, invertible
+/// by interpolation. Used for both R_O (decreasing dT) and R_L (increasing
+/// dT as R_L drops).
+class ResponseCurve {
+ public:
+  /// Builds dT(R_O) at fixed x for `points` log-spaced opens in
+  /// [r_min, r_max] on a pristine ring.
+  static ResponseCurve build_open_curve(const GroupDiagnosisConfig& config,
+                                        double x, double r_min, double r_max,
+                                        int points);
+
+  /// Builds dT(R_L) for log-spaced leaks in [r_min, r_max]; entries whose
+  /// ring is stuck are excluded (they are below the death threshold).
+  static ResponseCurve build_leak_curve(const GroupDiagnosisConfig& config,
+                                        double r_min, double r_max, int points);
+
+  /// Estimates the fault size for a measured dT by monotone interpolation;
+  /// nullopt when dT is outside the curve's range.
+  std::optional<double> invert(double delta_t) const;
+
+  const std::vector<double>& sizes() const { return sizes_; }
+  const std::vector<double>& delta_ts() const { return delta_ts_; }
+  double fault_free_delta_t() const { return dt_ff_; }
+
+ private:
+  std::vector<double> sizes_;     ///< fault resistance [Ohm], ascending
+  std::vector<double> delta_ts_;  ///< matching dT [s]
+  double dt_ff_ = 0.0;
+};
+
+// --- aliasing / minimum detectable fault (paper future work) -------------------
+
+struct AliasingConfig {
+  double vdd = 1.1;
+  int group_size = 5;
+  TsvTechnology tech = TsvTechnology::paper();
+  RoRunOptions run;
+  VariationModel variation = VariationModel::paper();
+  int mc_samples = 8;
+  uint64_t seed = 20130318;
+  double k_sigma = 3.0;  ///< guard band width in fault-free sigmas
+};
+
+struct AliasingReport {
+  double sigma_delta_t = 0.0;       ///< fault-free dT sigma at this voltage
+  double guard_band = 0.0;          ///< k_sigma * sigma
+  double min_detectable_open = 0.0; ///< smallest R_O (x = 0.5) above the band
+  double max_detectable_leak = 0.0; ///< largest (weakest) R_L above the band
+};
+
+/// Computes the minimum detectable fault sizes at one voltage: one fault-free
+/// Monte-Carlo population fixes the guard band; the nominal response curves
+/// locate where the fault-induced shift first exceeds it.
+AliasingReport analyze_aliasing(const AliasingConfig& config);
+
+}  // namespace rotsv

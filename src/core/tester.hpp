@@ -1,0 +1,99 @@
+// PreBondTsvTester: the paper's complete method as a public API.
+//
+// Flow (Sec. III-IV):
+//  1. calibrate(): characterize the fault-free dT population per voltage
+//     level with Monte-Carlo process variation, and derive a pass band
+//     (mean +/- k sigma, widened to the sample extremes).
+//  2. test_die_tsv(): simulate one manufactured die (its own variation
+//     sample) whose TSV under test carries a given (possibly none) fault;
+//     measure T1/T2 through the on-chip counter (including quantization),
+//     compute dT at every planned voltage, and classify:
+//        dT below band -> resistive open; above band -> leakage;
+//        no oscillation -> stuck (strong leakage); inside band -> pass.
+//  3. The multi-voltage plan raises sensitivity exactly as the paper
+//     argues: opens separate at high VDD, weak leakage at low VDD.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "digital/period_meter.hpp"
+#include "mc/monte_carlo.hpp"
+#include "stats/classifier.hpp"
+
+namespace rotsv {
+
+struct TesterConfig {
+  int group_size = 5;  ///< N, TSVs per ring oscillator
+  std::vector<double> voltages = {1.1, 0.95, 0.8, 0.75};
+  TsvTechnology tech = TsvTechnology::paper();
+  RoRunOptions run;
+  VariationModel variation = VariationModel::paper();
+  int calibration_samples = 12;
+  double guard_band_sigma = 3.5;
+  uint64_t seed = 20130318;
+  size_t threads = 0;
+  /// On-chip measurement configuration; T1/T2 pass through the counter
+  /// quantization of Sec. IV-C before subtraction.
+  PeriodMeterConfig meter{.bits = 14, .window = 5e-6,
+                          .backend = MeterBackend::kBinaryCounter, .phase = 0.25};
+};
+
+/// One voltage point of a die test.
+struct VoltageReading {
+  double vdd = 0.0;
+  bool stuck = false;       ///< T1 run did not oscillate
+  double t1 = 0.0;          ///< counter-quantized T1 [s]
+  double t2 = 0.0;          ///< counter-quantized T2 [s]
+  double delta_t = 0.0;
+  TsvVerdict verdict = TsvVerdict::kPass;
+};
+
+struct TestReport {
+  TsvVerdict verdict = TsvVerdict::kPass;  ///< combined over all voltages
+  std::vector<VoltageReading> readings;
+  std::string describe() const;
+};
+
+class PreBondTsvTester {
+ public:
+  explicit PreBondTsvTester(const TesterConfig& config);
+
+  /// Runs the fault-free Monte-Carlo characterization for every voltage.
+  /// Expensive (config.calibration_samples transient pairs per voltage).
+  void calibrate();
+
+  /// Installs a precomputed pass band for a voltage index (for tests and for
+  /// reusing a calibration across tester instances).
+  void set_band(size_t voltage_index, double lo, double hi);
+
+  bool calibrated() const;
+
+  /// Tests one die whose TSV 0 carries `fault`; `rng` draws the die's
+  /// process-variation sample and the counter phases.
+  TestReport test_die_tsv(const TsvFault& fault, Rng& rng) const;
+
+  const DeltaTClassifier& classifier(size_t voltage_index) const;
+  const TesterConfig& config() const { return config_; }
+
+  /// Fault-free calibration populations (per voltage), available after
+  /// calibrate(); useful for reporting.
+  const std::vector<std::vector<double>>& calibration_populations() const {
+    return calibration_;
+  }
+
+ private:
+  double quantize_period(double period, Rng& rng) const;
+
+  TesterConfig config_;
+  std::vector<std::optional<DeltaTClassifier>> classifiers_;
+  std::vector<std::vector<double>> calibration_;
+};
+
+/// Combines per-voltage verdicts: stuck dominates, then leakage, then open,
+/// then pass (a single out-of-band voltage flags the TSV -- the multi-voltage
+/// union is what gives the method its sensitivity).
+TsvVerdict combine_verdicts(const std::vector<VoltageReading>& readings);
+
+}  // namespace rotsv

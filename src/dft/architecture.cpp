@@ -1,0 +1,70 @@
+#include "dft/architecture.hpp"
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+DftArchitecture::DftArchitecture(const DftArchitectureConfig& config) : config_(config) {
+  require(config.tsv_count >= 1, "architecture: tsv_count >= 1");
+  require(config.group_size >= 1, "architecture: group_size >= 1");
+  int next = 0;
+  int index = 0;
+  while (next < config.tsv_count) {
+    TsvGroup g;
+    g.index = index++;
+    for (int i = 0; i < config.group_size && next < config.tsv_count; ++i) {
+      g.tsv_ids.push_back(next++);
+    }
+    groups_.push_back(std::move(g));
+  }
+}
+
+int DftArchitecture::group_of(int tsv_id) const {
+  require(tsv_id >= 0 && tsv_id < config_.tsv_count, "group_of: tsv_id out of range");
+  return tsv_id / config_.group_size;
+}
+
+ControlState DftArchitecture::control_for_tsv(int tsv_id) const {
+  const int g = group_of(tsv_id);
+  const TsvGroup& group = groups_[static_cast<size_t>(g)];
+  ControlState s;
+  s.te = true;
+  s.oe = true;
+  s.selected_group = g;
+  s.bypass.assign(group.tsv_ids.size(), true);
+  for (size_t i = 0; i < group.tsv_ids.size(); ++i) {
+    if (group.tsv_ids[i] == tsv_id) s.bypass[i] = false;
+  }
+  return s;
+}
+
+ControlState DftArchitecture::control_reference(int group_index) const {
+  require(group_index >= 0 && group_index < group_count(),
+          "control_reference: group out of range");
+  const TsvGroup& group = groups_[static_cast<size_t>(group_index)];
+  ControlState s;
+  s.te = true;
+  s.oe = true;
+  s.selected_group = group_index;
+  s.bypass.assign(group.tsv_ids.size(), true);
+  return s;
+}
+
+ControlState DftArchitecture::control_functional() const {
+  ControlState s;
+  s.te = false;
+  s.oe = false;
+  s.selected_group = -1;
+  return s;
+}
+
+DftAreaReport DftArchitecture::area() const {
+  DftAreaConfig a;
+  a.tsv_count = config_.tsv_count;
+  a.group_size = config_.group_size;
+  a.die_area_mm2 = config_.die_area_mm2;
+  a.counter_bits = config_.meter.bits;
+  return estimate_dft_area(a);
+}
+
+}  // namespace rotsv

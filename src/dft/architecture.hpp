@@ -1,0 +1,63 @@
+// Die-level DfT architecture (Fig. 5): TSVs grouped into ring oscillators,
+// a decoder selecting which oscillator feeds the shared measurement logic,
+// and the control signals (TE, OE, BY[], reset/stop) driven by the control
+// block. This module models the architecture's structure and bookkeeping;
+// the electrical behaviour of a group lives in ro/, the measurement in
+// digital/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/area.hpp"
+#include "digital/period_meter.hpp"
+#include "tsv/fault.hpp"
+
+namespace rotsv {
+
+struct TsvGroup {
+  int index = 0;
+  std::vector<int> tsv_ids;  ///< global TSV indices in this group
+};
+
+struct DftArchitectureConfig {
+  int tsv_count = 1000;
+  int group_size = 5;  ///< N
+  PeriodMeterConfig meter;
+  double die_area_mm2 = 25.0;
+};
+
+/// Control-signal state for one measurement step, as the control logic block
+/// of Fig. 5 would drive it.
+struct ControlState {
+  bool te = false;               ///< test enable
+  bool oe = false;               ///< output (driver) enable
+  std::vector<bool> bypass;      ///< BY[i] for the selected group
+  int selected_group = -1;       ///< decoder selection
+};
+
+class DftArchitecture {
+ public:
+  explicit DftArchitecture(const DftArchitectureConfig& config);
+
+  const std::vector<TsvGroup>& groups() const { return groups_; }
+  int group_of(int tsv_id) const;
+  int group_count() const { return static_cast<int>(groups_.size()); }
+  const DftArchitectureConfig& config() const { return config_; }
+
+  /// Control state for measuring one TSV of one group (T1 run).
+  ControlState control_for_tsv(int tsv_id) const;
+  /// Control state for the reference run of a group (all bypassed, T2).
+  ControlState control_reference(int group_index) const;
+  /// Control state for functional mode (test logic transparent).
+  ControlState control_functional() const;
+
+  /// DfT area of this architecture instance.
+  DftAreaReport area() const;
+
+ private:
+  DftArchitectureConfig config_;
+  std::vector<TsvGroup> groups_;
+};
+
+}  // namespace rotsv

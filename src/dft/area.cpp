@@ -1,0 +1,60 @@
+#include "dft/area.hpp"
+
+#include <cmath>
+
+#include "cells/cell_library.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+std::string DftAreaReport::to_string() const {
+  return format(
+      "muxes=%d (%.1f um^2), inverters=%d (%.1f um^2), measurement=%.1f um^2, "
+      "total=%.1f um^2 (%.4f%% of die)",
+      mux_count, mux_area_um2, inverter_count, inverter_area_um2,
+      measurement_area_um2, total_um2, fraction_of_die * 100.0);
+}
+
+DftAreaReport estimate_dft_area(const DftAreaConfig& config) {
+  require(config.tsv_count >= 1, "area: tsv_count must be >= 1");
+  require(config.group_size >= 1, "area: group_size must be >= 1");
+  DftAreaReport r;
+  r.group_count = (config.tsv_count + config.group_size - 1) / config.group_size;
+  r.mux_count = 2 * config.tsv_count;
+  r.inverter_count = r.group_count;
+  r.mux_area_um2 = r.mux_count * cell_area_um2(CellKind::kMux2);
+  r.inverter_area_um2 = r.inverter_count * cell_area_um2(CellKind::kInverter);
+  if (config.include_measurement_logic) {
+    // One shared counter (DFF per bit + decode inverter) plus a small control
+    // block approximated as 20 NAND2-equivalents.
+    r.measurement_area_um2 = config.counter_bits * (cell_area_um2(CellKind::kDff) +
+                                                    cell_area_um2(CellKind::kInverter)) +
+                             20.0 * cell_area_um2(CellKind::kNand2);
+  }
+  r.total_um2 = r.mux_area_um2 + r.inverter_area_um2 + r.measurement_area_um2;
+  r.fraction_of_die = r.total_um2 / (config.die_area_mm2 * 1e6);
+  return r;
+}
+
+DftAreaReport estimate_single_tsv_baseline_area(const DftAreaConfig& config) {
+  require(config.tsv_count >= 1, "area: tsv_count must be >= 1");
+  DftAreaReport r;
+  // One oscillator per TSV: the custom I/O cell contributes a mux-equivalent
+  // and each TSV needs its own ring inverter.
+  r.group_count = config.tsv_count;
+  r.mux_count = 2 * config.tsv_count + config.tsv_count;  // extra custom mux
+  r.inverter_count = config.tsv_count;
+  r.mux_area_um2 = r.mux_count * cell_area_um2(CellKind::kMux2);
+  r.inverter_area_um2 = r.inverter_count * cell_area_um2(CellKind::kInverter);
+  if (config.include_measurement_logic) {
+    r.measurement_area_um2 = config.counter_bits * (cell_area_um2(CellKind::kDff) +
+                                                    cell_area_um2(CellKind::kInverter)) +
+                             20.0 * cell_area_um2(CellKind::kNand2);
+  }
+  r.total_um2 = r.mux_area_um2 + r.inverter_area_um2 + r.measurement_area_um2;
+  r.fraction_of_die = r.total_um2 / (config.die_area_mm2 * 1e6);
+  return r;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,43 @@
+// DfT area cost estimation (Sec. IV-D).
+//
+// Per TSV the method adds two MUX2 cells (test-enable and bypass); each group
+// of N TSVs shares one ring inverter. The paper's arithmetic for 1000 TSVs,
+// N = 5: 2000 * 3.75 um^2 + 200 * 1.41 um^2 = 7782 um^2, under 0.04 % of a
+// 25 mm^2 die.
+#pragma once
+
+#include <string>
+
+namespace rotsv {
+
+struct DftAreaConfig {
+  int tsv_count = 1000;
+  int group_size = 5;            ///< N
+  double die_area_mm2 = 25.0;
+  /// Optional shared measurement logic (counter bits + control); the paper
+  /// treats it as negligible and shared across groups.
+  int counter_bits = 10;
+  bool include_measurement_logic = false;
+};
+
+struct DftAreaReport {
+  int mux_count = 0;
+  int inverter_count = 0;
+  int group_count = 0;
+  double mux_area_um2 = 0.0;
+  double inverter_area_um2 = 0.0;
+  double measurement_area_um2 = 0.0;
+  double total_um2 = 0.0;
+  double fraction_of_die = 0.0;  ///< total / die area
+
+  std::string to_string() const;
+};
+
+/// Computes the DfT area for the proposed method.
+DftAreaReport estimate_dft_area(const DftAreaConfig& config);
+
+/// Area of the per-TSV DfT of the single-TSV baseline [14], which needs a
+/// custom I/O cell (modelled as one extra MUX2 + one inverter per TSV).
+DftAreaReport estimate_single_tsv_baseline_area(const DftAreaConfig& config);
+
+}  // namespace rotsv

@@ -1,0 +1,64 @@
+#include "dft/scheduler.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+std::string ScheduledMeasurement::describe() const {
+  if (tsv_id < 0) {
+    return format("[%.1fus] group %d reference (T2) @ %.2fV", start_s * 1e6, group, vdd);
+  }
+  return format("[%.1fus] group %d TSV %d (T1) @ %.2fV", start_s * 1e6, group, tsv_id,
+                vdd);
+}
+
+double measurement_duration(const TestTimeConfig& config) {
+  require(config.shift_clock_hz > 0.0, "scheduler: shift clock must be > 0");
+  const double shift = config.signature_bits / config.shift_clock_hz;
+  return config.window_s + shift + config.config_overhead_s;
+}
+
+TestSchedule build_schedule(const DftArchitecture& architecture, TestMode mode,
+                            const TestTimeConfig& config) {
+  TestSchedule schedule;
+  const double unit = measurement_duration(config);
+  double now = 0.0;
+
+  auto push = [&](int group, int tsv, double vdd) {
+    schedule.measurements.push_back(ScheduledMeasurement{now, unit, group, tsv, vdd});
+    now += unit;
+  };
+
+  bool first_voltage = true;
+  for (double vdd : config.voltages) {
+    if (!first_voltage) now += config.voltage_switch_s;
+    first_voltage = false;
+
+    switch (mode) {
+      case TestMode::kPerTsv:
+        for (const TsvGroup& g : architecture.groups()) {
+          push(g.index, -1, vdd);  // shared T2 reference
+          for (int tsv : g.tsv_ids) push(g.index, tsv, vdd);
+        }
+        break;
+      case TestMode::kWholeGroup:
+        for (const TsvGroup& g : architecture.groups()) {
+          push(g.index, -1, vdd);                 // T2
+          push(g.index, g.tsv_ids.front(), vdd);  // one T1 with all enabled
+        }
+        break;
+      case TestMode::kSingleTsvBaseline:
+        // One oscillator per TSV and no shared reference: the baseline
+        // characterizes each TSV with its own measurement.
+        for (const TsvGroup& g : architecture.groups()) {
+          for (int tsv : g.tsv_ids) push(g.index, tsv, vdd);
+        }
+        break;
+    }
+  }
+  schedule.total_time_s = now;
+  return schedule;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,57 @@
+// Test-time model and scheduler.
+//
+// Each measurement occupies the shared measurement logic for the reference
+// window t plus the shift-out of the counter signature plus configuration
+// overhead. The scheduler enumerates measurements for a whole die across the
+// chosen voltage levels, supporting the paper's modes:
+//  * per-TSV test: T1 per TSV plus one shared T2 per group
+//  * group test (M = N at once): one T1 per group plus one T2 per group
+// and the single-TSV baseline [14] (one oscillator per TSV, no sharing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/architecture.hpp"
+
+namespace rotsv {
+
+struct TestTimeConfig {
+  double window_s = 5e-6;         ///< counter window t per measurement
+  double shift_clock_hz = 50e6;   ///< scan-out clock for the signature
+  int signature_bits = 10;
+  double config_overhead_s = 1e-6;  ///< control setup per measurement
+  std::vector<double> voltages = {1.1, 0.95, 0.8, 0.75};
+  /// Settling time after a supply-voltage change.
+  double voltage_switch_s = 100e-6;
+};
+
+struct ScheduledMeasurement {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  int group = -1;
+  int tsv_id = -1;  ///< -1 for a reference (T2) measurement
+  double vdd = 0.0;
+  std::string describe() const;
+};
+
+struct TestSchedule {
+  std::vector<ScheduledMeasurement> measurements;
+  double total_time_s = 0.0;
+};
+
+enum class TestMode {
+  kPerTsv,        ///< proposed method, one TSV at a time per group
+  kWholeGroup,    ///< proposed method, M = N TSVs at once (screen, then diagnose)
+  kSingleTsvBaseline,  ///< [14]: one oscillator per TSV, still one at a time
+};
+
+/// Builds the schedule for testing every TSV of the architecture at every
+/// voltage of the plan.
+TestSchedule build_schedule(const DftArchitecture& architecture, TestMode mode,
+                            const TestTimeConfig& config);
+
+/// Duration of one measurement (window + shift-out + configuration).
+double measurement_duration(const TestTimeConfig& config);
+
+}  // namespace rotsv

@@ -1,0 +1,40 @@
+#include "digital/counter.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+RippleCounter::RippleCounter(LogicNetwork& network, int bits, SignalId clock,
+                             SignalId reset, double clk_to_q_s, double inv_delay_s) {
+  require(bits >= 1 && bits <= 63, "ripple counter: bits must be in [1, 63]");
+  require(clk_to_q_s > 0.0 && inv_delay_s > 0.0,
+          "ripple counter: delays must be positive (zero-delay loops race)");
+  SignalId stage_clock = clock;
+  for (int b = 0; b < bits; ++b) {
+    const SignalId q = network.add_signal(format("cnt.q%d", b), false);
+    const SignalId qb = network.add_signal(format("cnt.qb%d", b), true);
+    // T-flip-flop: D = Q-bar toggles on each rising edge of stage_clock.
+    network.add_dff(qb, stage_clock, q, reset, clk_to_q_s);
+    network.add_gate(GateKind::kNot, {q}, qb, inv_delay_s);
+    q_.push_back(q);
+    // Ripple: the next stage clocks on this stage's falling edge, i.e. the
+    // rising edge of Q-bar -- a standard asynchronous up-counter.
+    stage_clock = qb;
+  }
+}
+
+uint64_t RippleCounter::read(const LogicSimulator& sim) const {
+  uint64_t value = 0;
+  for (size_t b = 0; b < q_.size(); ++b) {
+    if (sim.value(q_[b])) value |= (uint64_t{1} << b);
+  }
+  return value;
+}
+
+uint64_t expected_count(uint64_t edges, int bits) {
+  if (bits >= 64) return edges;
+  return edges & ((uint64_t{1} << bits) - 1);
+}
+
+}  // namespace rotsv

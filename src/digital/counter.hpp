@@ -1,0 +1,37 @@
+// n-bit ripple counter, both as a structural gate-level network (built from
+// DFFs and inverters in a LogicNetwork) and as the behavioral expectation
+// used by the period meter. The paper's measurement logic (Sec. III-B) is
+// "an n-bit binary counter that uses the oscillating signal as clock".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digital/logic_sim.hpp"
+
+namespace rotsv {
+
+class RippleCounter {
+ public:
+  /// Builds the counter into `network`. `clock` is the oscillating signal;
+  /// `reset` (active high, asynchronous) clears all bits. Non-zero delays
+  /// are required to avoid zero-delay races between stages.
+  RippleCounter(LogicNetwork& network, int bits, SignalId clock, SignalId reset,
+                double clk_to_q_s = 10e-12, double inv_delay_s = 5e-12);
+
+  int bits() const { return static_cast<int>(q_.size()); }
+
+  /// Reads the current count from a simulator running the network.
+  uint64_t read(const LogicSimulator& sim) const;
+
+  const std::vector<SignalId>& outputs() const { return q_; }
+
+ private:
+  std::vector<SignalId> q_;
+};
+
+/// Behavioral expectation: `edges` rising clock edges into a `bits`-bit
+/// binary counter (modulo wrap).
+uint64_t expected_count(uint64_t edges, int bits);
+
+}  // namespace rotsv

@@ -1,0 +1,146 @@
+#include "digital/lfsr.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+// Maximal-length Fibonacci tap masks (LSB-first bit positions) for n-bit
+// LFSRs; the feedback is the XOR of the tapped bits of the current state,
+// shifted into the LSB. Standard tables (Xilinx XAPP052 equivalents).
+constexpr uint32_t kTaps[33] = {
+    0,          0,
+    0x3,        // 2: x^2 + x + 1
+    0x6,        // 3
+    0xC,        // 4
+    0x14,       // 5
+    0x30,       // 6
+    0x60,       // 7
+    0xB8,       // 8
+    0x110,      // 9
+    0x240,      // 10
+    0x500,      // 11
+    0xE08,      // 12
+    0x1C80,     // 13
+    0x3802,     // 14
+    0x6000,     // 15
+    0xD008,     // 16
+    0x12000,    // 17
+    0x20400,    // 18
+    0x72000,    // 19
+    0x90000,    // 20
+    0x140000,   // 21
+    0x300000,   // 22
+    0x420000,   // 23
+    0xE10000,   // 24
+    0x1200000,  // 25
+    0x3880000,  // 26
+    0x7200000,  // 27
+    0x9000000,  // 28
+    0x14000000, // 29
+    0x32800000, // 30
+    0x48000000, // 31
+    0xA3000000, // 32
+};
+
+}  // namespace
+
+Lfsr::Lfsr(int bits, Style style) : bits_(bits), style_(style) {
+  require(bits >= 2 && bits <= 32, "LFSR: bits must be in [2, 32]");
+  taps_ = kTaps[bits];
+  reset();
+}
+
+uint32_t Lfsr::taps(int bits) {
+  require(bits >= 2 && bits <= 32, "LFSR: bits must be in [2, 32]");
+  return kTaps[bits];
+}
+
+void Lfsr::reset() {
+  if (style_ == Style::kXor) {
+    state_ = bits_ == 32 ? 0xFFFFFFFFu : ((uint32_t{1} << bits_) - 1);
+  } else {
+    state_ = 0;
+  }
+}
+
+void Lfsr::step() {
+  const uint32_t tapped = state_ & taps_;
+  // Parity of the tapped bits.
+  uint32_t fb = tapped;
+  fb ^= fb >> 16;
+  fb ^= fb >> 8;
+  fb ^= fb >> 4;
+  fb ^= fb >> 2;
+  fb ^= fb >> 1;
+  fb &= 1u;
+  if (style_ == Style::kXnor) fb ^= 1u;
+  state_ = ((state_ << 1) | fb);
+  if (bits_ < 32) state_ &= (uint32_t{1} << bits_) - 1;
+}
+
+void Lfsr::step(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) step();
+}
+
+uint64_t Lfsr::period() const {
+  return (bits_ == 32 ? 0xFFFFFFFFull : ((uint64_t{1} << bits_) - 1));
+}
+
+std::unordered_map<uint32_t, uint64_t> Lfsr::build_decode_table() const {
+  Lfsr scan(bits_, style_);
+  std::unordered_map<uint32_t, uint64_t> table;
+  const uint64_t n = period();
+  table.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    table.emplace(scan.state(), i);
+    scan.step();
+  }
+  return table;
+}
+
+StructuralLfsr::StructuralLfsr(LogicNetwork& network, int bits, SignalId clock,
+                               SignalId reset, double clk_to_q_s, double xor_delay_s)
+    : bits_(bits) {
+  require(bits >= 2 && bits <= 24, "structural LFSR: bits must be in [2, 24]");
+  require(clk_to_q_s > 0.0 && xor_delay_s > 0.0,
+          "structural LFSR: delays must be positive");
+
+  for (int b = 0; b < bits; ++b) {
+    q_.push_back(network.add_signal(format("lfsr.q%d", b), false));
+  }
+  // XNOR of the tapped bits: xor-reduce then invert.
+  const uint32_t taps = Lfsr::taps(bits);
+  SignalId acc = -1;
+  for (int b = 0; b < bits; ++b) {
+    if (!(taps & (uint32_t{1} << b))) continue;
+    if (acc < 0) {
+      acc = q_[static_cast<size_t>(b)];
+    } else {
+      const SignalId x = network.add_signal(format("lfsr.x%d", b), false);
+      network.add_gate(GateKind::kXor2, {acc, q_[static_cast<size_t>(b)]}, x,
+                       xor_delay_s);
+      acc = x;
+    }
+  }
+  const SignalId fb = network.add_signal("lfsr.fb", true);
+  network.add_gate(GateKind::kNot, {acc}, fb, xor_delay_s);
+
+  // Shift register: bit0 takes the feedback, bit b takes bit b-1.
+  network.add_dff(fb, clock, q_[0], reset, clk_to_q_s);
+  for (int b = 1; b < bits; ++b) {
+    network.add_dff(q_[static_cast<size_t>(b - 1)], clock, q_[static_cast<size_t>(b)],
+                    reset, clk_to_q_s);
+  }
+}
+
+uint32_t StructuralLfsr::read(const LogicSimulator& sim) const {
+  uint32_t v = 0;
+  for (size_t b = 0; b < q_.size(); ++b) {
+    if (sim.value(q_[b])) v |= (uint32_t{1} << b);
+  }
+  return v;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,65 @@
+// Linear-feedback shift register measurement alternative (Sec. III-B): an
+// LFSR needs fewer gates than a binary counter for the same count range but
+// requires a look-up table to map its state back to a cycle count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "digital/logic_sim.hpp"
+
+namespace rotsv {
+
+/// Behavioral Fibonacci LFSR with maximal-length taps (period 2^n - 1).
+/// Two feedback styles: XOR (lock-up state all-zeros; resets to all-ones)
+/// and XNOR (lock-up all-ones; resets to all-zeros -- matches a structural
+/// implementation built from reset-to-0 flip-flops).
+class Lfsr {
+ public:
+  enum class Style { kXor, kXnor };
+
+  /// `bits` in [2, 32].
+  explicit Lfsr(int bits, Style style = Style::kXor);
+
+  /// Maximal-length tap mask for `bits` (bit positions, LSB-first).
+  static uint32_t taps(int bits);
+
+  void reset();
+  void step();
+  void step(uint64_t n);
+  uint32_t state() const { return state_; }
+  int bits() const { return bits_; }
+
+  /// Sequence period (2^bits - 1 for maximal-length taps).
+  uint64_t period() const;
+
+  /// Builds the state -> cycle-count decode table the paper mentions
+  /// ("a look-up table is needed to determine the oscillation frequency
+  /// corresponding to the current LFSR state").
+  std::unordered_map<uint32_t, uint64_t> build_decode_table() const;
+
+ private:
+  int bits_;
+  Style style_;
+  uint32_t taps_;
+  uint32_t state_;
+};
+
+/// Structural LFSR in a LogicNetwork: DFF shift register with XNOR feedback,
+/// so the asynchronous reset (all flip-flops to 0) lands on a valid state of
+/// the maximal-length sequence; it matches Lfsr(bits, Style::kXnor) exactly.
+class StructuralLfsr {
+ public:
+  StructuralLfsr(LogicNetwork& network, int bits, SignalId clock, SignalId reset,
+                 double clk_to_q_s = 10e-12, double xor_delay_s = 5e-12);
+
+  uint32_t read(const LogicSimulator& sim) const;
+  const std::vector<SignalId>& outputs() const { return q_; }
+
+ private:
+  std::vector<SignalId> q_;
+  int bits_;
+};
+
+}  // namespace rotsv

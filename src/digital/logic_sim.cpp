@@ -1,0 +1,136 @@
+#include "digital/logic_sim.hpp"
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+SignalId LogicNetwork::add_signal(const std::string& name, bool initial) {
+  signals_.push_back(Signal{name, initial});
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+void LogicNetwork::add_gate(GateKind kind, std::vector<SignalId> inputs, SignalId output,
+                            double delay_s) {
+  const size_t expected = (kind == GateKind::kBuf || kind == GateKind::kNot) ? 1
+                          : (kind == GateKind::kMux2)                        ? 3
+                                                                             : 2;
+  require(inputs.size() == expected, "logic gate: wrong input count");
+  require(delay_s >= 0.0, "logic gate: negative delay");
+  gates_.push_back(Gate{kind, std::move(inputs), output, delay_s});
+}
+
+void LogicNetwork::add_dff(SignalId d, SignalId clock, SignalId q, SignalId reset,
+                           double clk_to_q_s) {
+  dffs_.push_back(Dff{d, clock, q, reset, clk_to_q_s});
+}
+
+const std::string& LogicNetwork::signal_name(SignalId s) const {
+  return signals_.at(static_cast<size_t>(s)).name;
+}
+
+bool LogicNetwork::initial_value(SignalId s) const {
+  return signals_.at(static_cast<size_t>(s)).initial;
+}
+
+LogicSimulator::LogicSimulator(const LogicNetwork& network)
+    : network_(network),
+      values_(network.signals_.size(), false),
+      rise_counts_(network.signals_.size(), 0),
+      gate_fanout_(network.signals_.size()),
+      dff_clock_fanout_(network.signals_.size()),
+      dff_reset_fanout_(network.signals_.size()) {
+  for (size_t i = 0; i < network.signals_.size(); ++i) {
+    values_[i] = network.signals_[i].initial;
+  }
+  for (size_t g = 0; g < network.gates_.size(); ++g) {
+    for (SignalId in : network.gates_[g].inputs) {
+      gate_fanout_[static_cast<size_t>(in)].push_back(g);
+    }
+  }
+  for (size_t f = 0; f < network.dffs_.size(); ++f) {
+    dff_clock_fanout_[static_cast<size_t>(network.dffs_[f].clock)].push_back(f);
+    if (network.dffs_[f].reset >= 0) {
+      dff_reset_fanout_[static_cast<size_t>(network.dffs_[f].reset)].push_back(f);
+    }
+  }
+  // Settle combinational logic at t = 0 by scheduling every gate evaluation.
+  for (size_t g = 0; g < network.gates_.size(); ++g) {
+    const auto& gate = network.gates_[g];
+    const bool v = eval_gate(gate);
+    if (v != values_[static_cast<size_t>(gate.output)]) {
+      schedule(gate.output, v, gate.delay);
+    }
+  }
+}
+
+bool LogicSimulator::eval_gate(const LogicNetwork::Gate& gate) const {
+  auto in = [&](size_t i) { return values_[static_cast<size_t>(gate.inputs[i])]; };
+  switch (gate.kind) {
+    case GateKind::kBuf: return in(0);
+    case GateKind::kNot: return !in(0);
+    case GateKind::kAnd2: return in(0) && in(1);
+    case GateKind::kOr2: return in(0) || in(1);
+    case GateKind::kNand2: return !(in(0) && in(1));
+    case GateKind::kNor2: return !(in(0) || in(1));
+    case GateKind::kXor2: return in(0) != in(1);
+    case GateKind::kMux2: return in(2) ? in(1) : in(0);
+  }
+  return false;
+}
+
+void LogicSimulator::schedule(SignalId signal, bool value, double time) {
+  require(time >= now_, "logic sim: cannot schedule in the past");
+  queue_.push(Event{time, seq_++, signal, value});
+}
+
+void LogicSimulator::apply(SignalId signal, bool value) {
+  const size_t idx = static_cast<size_t>(signal);
+  const bool old = values_[idx];
+  if (old == value) return;
+  values_[idx] = value;
+  if (!old && value) rise_counts_[idx]++;
+
+  // Combinational fanout.
+  for (size_t g : gate_fanout_[idx]) {
+    const auto& gate = network_.gates_[g];
+    const bool v = eval_gate(gate);
+    queue_.push(Event{now_ + gate.delay, seq_++, gate.output, v});
+  }
+  // DFF clock edges (rising) and async resets.
+  if (!old && value) {
+    for (size_t f : dff_clock_fanout_[idx]) {
+      const auto& dff = network_.dffs_[f];
+      const bool in_reset =
+          dff.reset >= 0 && values_[static_cast<size_t>(dff.reset)];
+      if (in_reset) continue;
+      const bool d = values_[static_cast<size_t>(dff.d)];
+      queue_.push(Event{now_ + dff.clk_to_q, seq_++, dff.q, d});
+    }
+  }
+  if (value) {
+    for (size_t f : dff_reset_fanout_[idx]) {
+      const auto& dff = network_.dffs_[f];
+      queue_.push(Event{now_ + dff.clk_to_q, seq_++, dff.q, false});
+    }
+  }
+}
+
+void LogicSimulator::run_until(double t_stop) {
+  while (!queue_.empty() && queue_.top().time <= t_stop) {
+    const Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    apply(e.signal, e.value);
+  }
+  now_ = t_stop;
+}
+
+bool LogicSimulator::value(SignalId signal) const {
+  return values_[static_cast<size_t>(signal)];
+}
+
+uint64_t LogicSimulator::rising_edges(SignalId signal) const {
+  return rise_counts_[static_cast<size_t>(signal)];
+}
+
+}  // namespace rotsv

@@ -1,0 +1,105 @@
+// Small event-driven gate-level logic simulator, the substrate for the
+// paper's on-chip measurement hardware (binary counter / LFSR, Fig. 5).
+//
+// Signals are boolean; gates have transport delays; a DFF samples D on the
+// rising edge of its clock. The simulator processes a time-ordered event
+// queue and suppresses events that do not change a signal's value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+using SignalId = int;
+
+enum class GateKind { kBuf, kNot, kAnd2, kOr2, kNand2, kNor2, kXor2, kMux2 };
+
+class LogicNetwork {
+ public:
+  /// Creates a named signal initialized to `initial`.
+  SignalId add_signal(const std::string& name, bool initial = false);
+
+  /// Adds a combinational gate. kMux2 input order: {a, b, sel} (sel ? b : a);
+  /// the other two-input kinds take {a, b}; kBuf / kNot take {a}.
+  void add_gate(GateKind kind, std::vector<SignalId> inputs, SignalId output,
+                double delay_s = 0.0);
+
+  /// Adds a rising-edge DFF with asynchronous active-high reset (optional:
+  /// pass -1 for no reset).
+  void add_dff(SignalId d, SignalId clock, SignalId q, SignalId reset = -1,
+               double clk_to_q_s = 0.0);
+
+  size_t signal_count() const { return signals_.size(); }
+  const std::string& signal_name(SignalId s) const;
+  bool initial_value(SignalId s) const;
+
+ private:
+  friend class LogicSimulator;
+
+  struct Gate {
+    GateKind kind;
+    std::vector<SignalId> inputs;
+    SignalId output;
+    double delay;
+  };
+  struct Dff {
+    SignalId d, clock, q, reset;
+    double clk_to_q;
+  };
+  struct Signal {
+    std::string name;
+    bool initial;
+  };
+
+  std::vector<Signal> signals_;
+  std::vector<Gate> gates_;
+  std::vector<Dff> dffs_;
+};
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const LogicNetwork& network);
+
+  /// Schedules an external stimulus (primary-input change).
+  void schedule(SignalId signal, bool value, double time);
+
+  /// Processes events up to and including `t_stop`.
+  void run_until(double t_stop);
+
+  bool value(SignalId signal) const;
+  double now() const { return now_; }
+
+  /// Number of 0->1 transitions observed on a signal since construction.
+  uint64_t rising_edges(SignalId signal) const;
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  ///< tie-breaker: FIFO among same-time events
+    SignalId signal;
+    bool value;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool eval_gate(const LogicNetwork::Gate& gate) const;
+  void apply(SignalId signal, bool value);
+
+  const LogicNetwork& network_;
+  std::vector<bool> values_;
+  std::vector<uint64_t> rise_counts_;
+  std::vector<std::vector<size_t>> gate_fanout_;  ///< signal -> gate indices
+  std::vector<std::vector<size_t>> dff_clock_fanout_;
+  std::vector<std::vector<size_t>> dff_reset_fanout_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,119 @@
+#include "digital/period_meter.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+PeriodMeter::PeriodMeter(const PeriodMeterConfig& config) : config_(config) {
+  require(config.bits >= 2 && config.bits <= 32, "period meter: bits in [2, 32]");
+  require(config.window > 0.0, "period meter: window must be > 0");
+  require(config.phase >= 0.0 && config.phase < 1.0, "period meter: phase in [0, 1)");
+}
+
+uint64_t PeriodMeter::edges_in_window(double true_period, double window, double phase) {
+  require(true_period > 0.0, "period meter: period must be > 0");
+  // Edges at (phase + k) * T for k = 0, 1, ...; count those strictly inside
+  // the window [0, t).
+  const double first = phase * true_period;
+  if (first >= window) return 0;
+  return static_cast<uint64_t>(std::floor((window - first) / true_period)) + 1;
+}
+
+PeriodMeasurement PeriodMeter::measure(double true_period) const {
+  const uint64_t edges = edges_in_window(true_period, config_.window, config_.phase);
+  PeriodMeasurement m;
+  if (config_.backend == MeterBackend::kBinaryCounter) {
+    const uint64_t capacity = uint64_t{1} << config_.bits;
+    m.overflow = edges >= capacity;
+    m.count = expected_count(edges, config_.bits);
+  } else {
+    Lfsr lfsr(config_.bits, Lfsr::Style::kXnor);
+    m.overflow = edges >= lfsr.period();
+    // The hardware steps the LFSR once per rising edge; the tester decodes
+    // the final state through the look-up table.
+    Lfsr run = lfsr;
+    run.step(edges % lfsr.period());
+    const auto table = lfsr.build_decode_table();
+    m.count = table.at(run.state());
+  }
+  if (m.count > 0) {
+    m.t_measured = config_.window / static_cast<double>(m.count);
+    m.error = m.t_measured - true_period;
+  }
+  return m;
+}
+
+double PeriodMeter::error_bound_plus(double true_period, double window) {
+  require(window > true_period, "error bound: window must exceed the period");
+  return true_period * true_period / (window - true_period);
+}
+
+double PeriodMeter::error_bound_minus(double true_period, double window) {
+  return true_period * true_period / (window + true_period);
+}
+
+int PeriodMeter::required_bits(double true_period, double window) {
+  const double max_count = window / true_period + 1.0;
+  int bits = 1;
+  while (bits < 63 && std::ldexp(1.0, bits) <= max_count) ++bits;
+  return bits;
+}
+
+double PeriodMeter::required_window(double true_period, double max_error) {
+  require(max_error > 0.0, "required_window: max_error must be > 0");
+  // E ~ T^2 / t  =>  t ~ T^2 / E (the paper's 5 us example for T = 5 ns,
+  // E = 0.005 ns).
+  return true_period * true_period / max_error;
+}
+
+PeriodMeasurement measure_with_hardware(const PeriodMeterConfig& config,
+                                        double true_period) {
+  LogicNetwork network;
+  const SignalId osc = network.add_signal("osc", false);
+  const SignalId reset = network.add_signal("reset", true);
+
+  PeriodMeasurement m;
+  if (config.backend == MeterBackend::kBinaryCounter) {
+    RippleCounter counter(network, config.bits, osc, reset);
+    LogicSimulator sim(network);
+    // Release reset at t = 0; oscillator edges at (phase + k) * T.
+    sim.schedule(reset, false, 0.0);
+    const double t_first = config.phase * true_period;
+    for (double t = t_first; t < config.window; t += true_period) {
+      sim.schedule(osc, true, t);
+      sim.schedule(osc, false, t + true_period / 2.0);
+    }
+    sim.run_until(config.window + true_period);
+    const uint64_t edges = sim.rising_edges(osc);
+    (void)edges;
+    m.count = counter.read(sim);
+    m.overflow =
+        PeriodMeter::edges_in_window(true_period, config.window, config.phase) >=
+        (uint64_t{1} << config.bits);
+  } else {
+    StructuralLfsr lfsr(network, config.bits, osc, reset);
+    LogicSimulator sim(network);
+    sim.schedule(reset, false, 0.0);
+    const double t_first = config.phase * true_period;
+    for (double t = t_first; t < config.window; t += true_period) {
+      sim.schedule(osc, true, t);
+      sim.schedule(osc, false, t + true_period / 2.0);
+    }
+    sim.run_until(config.window + true_period);
+    Lfsr reference(config.bits, Lfsr::Style::kXnor);
+    const auto table = reference.build_decode_table();
+    m.count = table.at(lfsr.read(sim));
+    m.overflow =
+        PeriodMeter::edges_in_window(true_period, config.window, config.phase) >=
+        reference.period();
+  }
+  if (m.count > 0) {
+    m.t_measured = config.window / static_cast<double>(m.count);
+    m.error = m.t_measured - true_period;
+  }
+  return m;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,72 @@
+// Period measurement semantics of Sec. IV-C / Fig. 11.
+//
+// A reference clock generates reset and stop a known window t apart. The
+// counter (or LFSR) clocks on the oscillator output; the count c recovers
+// the period as T' = t / c. The digital nature of the counter bounds the
+// count by t/T - 1 <= c <= t/T + 1, giving measurement errors
+//   E+ = T^2 / (t - T)  and  E- = T^2 / (t + T),  both ~ T^2 / t for t >> T.
+#pragma once
+
+#include <cstdint>
+
+#include "digital/counter.hpp"
+#include "digital/lfsr.hpp"
+
+namespace rotsv {
+
+enum class MeterBackend { kBinaryCounter, kLfsr };
+
+struct PeriodMeterConfig {
+  int bits = 10;
+  double window = 5e-6;  ///< t, the reference window [s]
+  MeterBackend backend = MeterBackend::kBinaryCounter;
+  /// Oscillator phase at reset, as the fraction of a period until the first
+  /// rising edge, in [0, 1). Sweeping the phase exercises the +/-1 count
+  /// uncertainty (the two extreme cases of Fig. 11).
+  double phase = 0.25;
+};
+
+struct PeriodMeasurement {
+  uint64_t count = 0;        ///< decoded cycle count c
+  double t_measured = 0.0;   ///< T' = window / c
+  double error = 0.0;        ///< T' - T_true
+  bool overflow = false;     ///< count exceeded the backend's range
+};
+
+class PeriodMeter {
+ public:
+  explicit PeriodMeter(const PeriodMeterConfig& config);
+
+  /// Measures an ideal oscillation of the given true period (behavioral:
+  /// closed-form rising-edge counting; matches the gate-level hardware, as
+  /// the equivalence tests assert).
+  PeriodMeasurement measure(double true_period) const;
+
+  /// Rising edges of a period-T square wave (first edge at phase*T) within
+  /// a window of length t.
+  static uint64_t edges_in_window(double true_period, double window, double phase);
+
+  /// Upper / lower absolute error bounds from the paper.
+  static double error_bound_plus(double true_period, double window);
+  static double error_bound_minus(double true_period, double window);
+
+  /// Smallest counter width that can hold t/T + 1 without overflow.
+  static int required_bits(double true_period, double window);
+
+  /// Window needed so the error bound E ~ T^2/t stays below `max_error`.
+  static double required_window(double true_period, double max_error);
+
+  const PeriodMeterConfig& config() const { return config_; }
+
+ private:
+  PeriodMeterConfig config_;
+};
+
+/// Runs the *structural* measurement: a gate-level ripple counter (or LFSR)
+/// in the event-driven logic simulator, clocked by a square wave of period
+/// `true_period`, over `config.window`. Used to validate the behavioral
+/// model against the actual hardware netlist.
+PeriodMeasurement measure_with_hardware(const PeriodMeterConfig& config,
+                                        double true_period);
+
+}  // namespace rotsv

@@ -1,0 +1,87 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+LuFactorization::LuFactorization(const Matrix& a, double pivot_tol)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  if (a.rows() != a.cols()) throw Error("LU: matrix must be square");
+  for (size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: find the largest |entry| in column k at/below row k.
+    size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_.at(k, k));
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_.at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol) {
+      throw ConvergenceError(
+          format("LU: singular matrix (pivot %.3g at column %zu of %zu)",
+                 pivot_mag, k, n_));
+    }
+    if (pivot_row != k) {
+      for (size_t c = 0; c < n_; ++c) std::swap(lu_.at(k, c), lu_.at(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+      perm_sign_ = -perm_sign_;
+    }
+
+    const double inv_pivot = 1.0 / lu_.at(k, k);
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_.at(r, k) * inv_pivot;
+      lu_.at(r, k) = factor;
+      if (factor == 0.0) continue;
+      double* dst = lu_.row(r);
+      const double* src = lu_.row(k);
+      for (size_t c = k + 1; c < n_; ++c) dst[c] -= factor * src[c];
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactorization::solve_in_place(Vector& b) const {
+  if (b.size() != n_) throw Error("LU solve: dimension mismatch");
+  // Apply the row permutation.
+  Vector y(n_);
+  for (size_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (size_t i = 1; i < n_; ++i) {
+    const double* rowp = lu_.row(i);
+    double acc = y[i];
+    for (size_t j = 0; j < i; ++j) acc -= rowp[j] * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  for (size_t ii = n_; ii-- > 0;) {
+    const double* rowp = lu_.row(ii);
+    double acc = y[ii];
+    for (size_t j = ii + 1; j < n_; ++j) acc -= rowp[j] * y[j];
+    y[ii] = acc / rowp[ii];
+  }
+  b = std::move(y);
+}
+
+double LuFactorization::determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < n_; ++i) det *= lu_.at(i, i);
+  return det;
+}
+
+Vector lu_solve(const Matrix& a, const Vector& b) {
+  return LuFactorization(a).solve(b);
+}
+
+}  // namespace rotsv

@@ -1,0 +1,37 @@
+// LU factorization with partial pivoting, the linear-solver core of the MNA
+// Newton iteration. Factorization is in-place over a copy of A so the caller's
+// matrix can be re-stamped each Newton step.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace rotsv {
+
+class LuFactorization {
+ public:
+  /// Factors a square matrix. Throws ConvergenceError when the matrix is
+  /// numerically singular (pivot below `pivot_tol`).
+  explicit LuFactorization(const Matrix& a, double pivot_tol = 1e-13);
+
+  /// Solves A x = b for one right-hand side.
+  Vector solve(const Vector& b) const;
+
+  /// In-place variant: overwrites `b` with the solution.
+  void solve_in_place(Vector& b) const;
+
+  size_t size() const { return n_; }
+
+  /// Determinant of the factored matrix (sign included).
+  double determinant() const;
+
+ private:
+  size_t n_ = 0;
+  Matrix lu_;
+  std::vector<size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solves A x = b.
+Vector lu_solve(const Matrix& a, const Vector& b);
+
+}  // namespace rotsv

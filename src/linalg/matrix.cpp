@@ -1,0 +1,61 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+Vector Matrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) throw Error("Matrix::multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* rowp = row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += rowp[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+std::string Matrix::to_string() const {
+  std::string out;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out += format("%12.4g ", at(r, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double inf_norm(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw Error("subtract: dimension mismatch");
+  Vector r(a.size());
+  for (size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+}  // namespace rotsv

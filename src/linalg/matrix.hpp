@@ -1,0 +1,65 @@
+// Dense matrix / vector types sized for MNA systems (tens to a few hundred
+// unknowns). Row-major storage; bounds are checked in debug builds only via
+// assert to keep the transient inner loop fast.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double& operator()(size_t r, size_t c) { return at(r, c); }
+  double operator()(size_t r, size_t c) const { return at(r, c); }
+
+  /// Pointer to the start of row `r` (contiguous `cols()` doubles).
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every entry to zero without reallocating.
+  void clear();
+
+  /// y = A * x. Requires x.size() == cols().
+  Vector multiply(const Vector& x) const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  std::string to_string() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Infinity norm of a vector.
+double inf_norm(const Vector& v);
+
+/// r = a - b elementwise; sizes must match.
+Vector subtract(const Vector& a, const Vector& b);
+
+}  // namespace rotsv

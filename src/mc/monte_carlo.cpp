@@ -1,0 +1,52 @@
+#include "mc/monte_carlo.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rotsv {
+
+std::vector<double> run_monte_carlo(const McConfig& config,
+                                    const std::function<double(size_t, Rng&)>& fn) {
+  require(config.samples >= 1, "monte carlo: samples must be >= 1");
+  std::vector<double> out(static_cast<size_t>(config.samples), 0.0);
+  ThreadPool::parallel_for(
+      static_cast<size_t>(config.samples),
+      [&](size_t i) {
+        Rng rng = Rng::fork(config.seed, i);
+        out[i] = fn(i, rng);
+      },
+      config.threads);
+  return out;
+}
+
+RoMcResult run_ro_monte_carlo(const McConfig& config, const RoMcExperiment& experiment) {
+  require(config.samples >= 1, "monte carlo: samples must be >= 1");
+  RoMcResult result;
+  std::vector<DeltaTResult> per_sample(static_cast<size_t>(config.samples));
+
+  ThreadPool::parallel_for(
+      static_cast<size_t>(config.samples),
+      [&](size_t i) {
+        Rng rng = Rng::fork(config.seed, i);
+        RingOscillatorConfig cfg = experiment.ro;
+        cfg.vdd = experiment.vdd;
+        RingOscillator ro(cfg);
+        ro.set_vdd(experiment.vdd);
+        ro.apply_variation(experiment.variation, rng);
+        per_sample[i] = measure_delta_t(ro, experiment.enabled_tsvs, experiment.run);
+      },
+      config.threads);
+
+  for (const DeltaTResult& d : per_sample) {
+    if (d.stuck) {
+      result.stuck_count++;
+    } else if (d.valid) {
+      result.delta_t.push_back(d.delta_t);
+    }
+  }
+  return result;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,50 @@
+// Monte-Carlo engine for process-variation experiments.
+//
+// Each sample owns an independent RNG stream derived from (seed, index), so
+// results are bit-identical regardless of thread count or scheduling -- a
+// property the reproducibility tests assert.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "models/variation.hpp"
+#include "ro/ring_oscillator.hpp"
+#include "ro/ro_runner.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+
+struct McConfig {
+  int samples = 25;
+  uint64_t seed = 20130318;  ///< DATE'13 vintage default
+  size_t threads = 0;        ///< 0 = hardware concurrency
+};
+
+/// Runs `fn(sample_index, rng)` for every sample, in parallel, and returns
+/// the results ordered by sample index.
+std::vector<double> run_monte_carlo(const McConfig& config,
+                                    const std::function<double(size_t, Rng&)>& fn);
+
+/// One Monte-Carlo dT experiment on the paper's ring oscillator:
+/// a population of dice, each with its own process-variation sample, all
+/// carrying the same fault on TSV 0 (or no fault).
+struct RoMcExperiment {
+  RingOscillatorConfig ro;          ///< faults[0] describes the TSV under test
+  VariationModel variation = VariationModel::paper();
+  double vdd = 1.1;
+  int enabled_tsvs = 1;             ///< M, TSVs measured simultaneously
+  RoRunOptions run;
+};
+
+struct RoMcResult {
+  std::vector<double> delta_t;  ///< dT of each non-stuck die [s]
+  int stuck_count = 0;          ///< dice whose T1 run did not oscillate
+};
+
+/// Runs the experiment over `config.samples` dice. Each sample rebuilds the
+/// ring (cheap relative to the transient), perturbs all transistors, and
+/// performs the paper's two-run T1/T2 measurement.
+RoMcResult run_ro_monte_carlo(const McConfig& config, const RoMcExperiment& experiment);
+
+}  // namespace rotsv

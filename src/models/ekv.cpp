@@ -1,0 +1,98 @@
+#include "models/ekv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+double softplus(double x) {
+  if (x > 35.0) return x;
+  if (x < -35.0) return std::exp(x);  // underflows smoothly to 0
+  return std::log1p(std::exp(x));
+}
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-std::min(x, 700.0));
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(std::max(x, -700.0));
+  return e / (1.0 + e);
+}
+
+MosEval ekv_evaluate(const MosModelCard& card, const MosInstanceParams& inst,
+                     double vg, double vd, double vs) {
+  const double ut = card.ut;
+  const double n = card.n_slope;
+  const double leff = std::max(inst.l * inst.l_scale, 1e-9);
+  const double beta = card.kp * inst.w / leff;
+  const double i_spec = 2.0 * n * beta * ut * ut;
+
+  // Pinch-off voltage (linearized EKV): VP = (VG - VT0) / n.
+  const double vt = card.vt0 + inst.delta_vt;
+  const double vp = (vg - vt) / n;
+
+  // Forward / reverse normalized currents: F(u) = ln^2(1 + e^{u/2}).
+  const double uf = (vp - vs) / ut;
+  const double ur = (vp - vd) / ut;
+  const double lf = softplus(uf * 0.5);
+  const double lr = softplus(ur * 0.5);
+  const double i_f = lf * lf;
+  const double i_r = lr * lr;
+  // dF/du = ln(1+e^{u/2}) * sigmoid(u/2).
+  const double dff = lf * sigmoid(uf * 0.5);
+  const double dfr = lr * sigmoid(ur * 0.5);
+
+  const double a = i_spec * (i_f - i_r);
+  const double da_dvg = i_spec * (dff - dfr) / (n * ut);
+  const double da_dvs = -i_spec * dff / ut;
+  const double da_dvd = i_spec * dfr / ut;
+
+  // Channel-length modulation on a smooth |vds|.
+  const double vds = vd - vs;
+  const double eps = 1e-3;
+  const double vds_s = std::sqrt(vds * vds + eps * eps) - eps;
+  const double dvds_s = vds / std::sqrt(vds * vds + eps * eps);
+  const double b = 1.0 + card.lambda * vds_s;
+  const double db_dvd = card.lambda * dvds_s;
+  const double db_dvs = -db_dvd;
+
+  // Mobility reduction on the smoothed gate overdrive, referenced to the
+  // lower (more conducting) of source/drain through a smooth-min so the model
+  // stays symmetric under drain/source swap -- pass gates and bidirectional
+  // I/O cells rely on that -- while reducing to the usual source-referenced
+  // overdrive in saturation.
+  const double delta_sd = vs - vd;
+  const double v_low = std::min(vs, vd) - ut * softplus(-std::fabs(delta_sd) / ut);
+  const double w_s = sigmoid(-delta_sd / ut);  // weight of vs in the smooth-min
+  const double w_d = 1.0 - w_s;
+  const double x_ov = (vg - vt - v_low) / ut;
+  const double vov = ut * softplus(x_ov);
+  const double s_ov = sigmoid(x_ov);
+  const double d = 1.0 + card.theta * vov;
+  const double dd_dvg = card.theta * s_ov;
+  const double dd_dvs = -dd_dvg * w_s;
+  const double dd_dvd = -dd_dvg * w_d;
+
+  MosEval out;
+  const double inv_d = 1.0 / d;
+  out.id = a * b * inv_d;
+  out.g_g = (da_dvg * b) * inv_d - out.id * inv_d * dd_dvg;
+  out.g_d = (da_dvd * b + a * db_dvd) * inv_d - out.id * inv_d * dd_dvd;
+  out.g_s = (da_dvs * b + a * db_dvs) * inv_d - out.id * inv_d * dd_dvs;
+  return out;
+}
+
+MosCaps ekv_capacitances(const MosModelCard& card, const MosInstanceParams& inst) {
+  MosCaps c;
+  const double c_gate = card.cox_area * inst.w * inst.l;
+  c.cgs = 0.5 * c_gate + card.c_overlap * inst.w;
+  c.cgd = 0.5 * c_gate + card.c_overlap * inst.w;
+  c.cdb = card.c_junction * inst.w;
+  c.csb = card.c_junction * inst.w;
+  return c;
+}
+
+}  // namespace rotsv

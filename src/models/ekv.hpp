@@ -1,0 +1,77 @@
+// Analytic all-region MOSFET model in the spirit of the EKV 2.6 long-channel
+// core, extended with first-order mobility reduction and channel-length
+// modulation.
+//
+// Why EKV instead of a table or piecewise square-law model:
+//  * it is smooth (C-inf) from weak through strong inversion, which keeps the
+//    Newton iteration of the transient engine well conditioned;
+//  * it is symmetric in drain/source, so pass gates and bidirectional I/O
+//    cells need no region bookkeeping;
+//  * its handful of parameters can be calibrated to a 45 nm LP-class
+//    technology corner (see models/ptm45.*), which is all the paper's
+//    delay-shape experiments require.
+//
+// All voltages in the evaluator are bulk-referenced NMOS-convention volts;
+// the Mosfet device flips signs for PMOS.
+#pragma once
+
+#include <string>
+
+namespace rotsv {
+
+/// Technology-level model card (one per device polarity per corner).
+struct MosModelCard {
+  std::string name;
+  bool is_nmos = true;
+
+  double vt0 = 0.5;      ///< threshold voltage magnitude at Vsb = 0 [V]
+  double n_slope = 1.3;  ///< subthreshold slope factor
+  double kp = 4e-4;      ///< transconductance factor mu*Cox [A/V^2]
+  double theta = 1.5;    ///< mobility-reduction coefficient [1/V]
+  double lambda = 0.08;  ///< channel-length modulation [1/V]
+  double ut = 0.02585;   ///< thermal voltage at 300 K [V]
+
+  double l_nom = 50e-9;  ///< drawn channel length [m]
+  double cox_area = 0.025;  ///< gate oxide capacitance [F/m^2]
+  double c_overlap = 0.25e-9;  ///< G-D / G-S overlap capacitance [F/m]
+  double c_junction = 0.6e-9;  ///< drain/source junction capacitance [F/m]
+};
+
+/// Per-instance parameters (sizing plus Monte-Carlo perturbations).
+struct MosInstanceParams {
+  double w = 415e-9;        ///< drawn width [m]
+  double l = 50e-9;         ///< drawn length [m]
+  double delta_vt = 0.0;    ///< threshold shift from process variation [V]
+  double l_scale = 1.0;     ///< effective-length multiplier from variation
+};
+
+/// Evaluation result: drain current (into the drain terminal, NMOS
+/// convention) and its partial derivatives w.r.t. bulk-referenced terminal
+/// voltages. dId/dVb is implied: -(g_g + g_d + g_s).
+struct MosEval {
+  double id = 0.0;
+  double g_g = 0.0;  ///< dId/dVg
+  double g_d = 0.0;  ///< dId/dVd
+  double g_s = 0.0;  ///< dId/dVs
+};
+
+/// Evaluates the model at bulk-referenced voltages (vg, vd, vs).
+/// Symmetric: swapping vd/vs negates id.
+MosEval ekv_evaluate(const MosModelCard& card, const MosInstanceParams& inst,
+                     double vg, double vd, double vs);
+
+/// Numerically-stable softplus ln(1 + e^x) and logistic sigmoid; exposed for
+/// tests of the model's building blocks.
+double softplus(double x);
+double sigmoid(double x);
+
+/// Device capacitances derived from geometry (linear approximation).
+struct MosCaps {
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cdb = 0.0;
+  double csb = 0.0;
+};
+MosCaps ekv_capacitances(const MosModelCard& card, const MosInstanceParams& inst);
+
+}  // namespace rotsv

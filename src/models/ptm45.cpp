@@ -1,0 +1,46 @@
+#include "models/ptm45.hpp"
+
+namespace rotsv {
+
+const MosModelCard& ptm45lp_nmos() {
+  static const MosModelCard card = [] {
+    MosModelCard c;
+    c.name = "ptm45lp_nmos";
+    c.is_nmos = true;
+    c.vt0 = 0.55;       // LP-class high threshold
+    c.n_slope = 1.32;
+    c.kp = 3.3e-4;      // tuned for LP-class Ion at 1.1 V
+    c.theta = 1.6;      // folds in mobility reduction + velocity saturation
+    c.lambda = 0.10;
+    c.l_nom = kDrawnLength;
+    c.cox_area = 0.025;     // ~25 fF/um^2
+    c.c_overlap = 0.30e-9;  // 0.30 fF/um
+    c.c_junction = 0.55e-9; // 0.55 fF/um
+    return c;
+  }();
+  return card;
+}
+
+const MosModelCard& ptm45lp_pmos() {
+  static const MosModelCard card = [] {
+    MosModelCard c;
+    c.name = "ptm45lp_pmos";
+    c.is_nmos = false;
+    c.vt0 = 0.53;
+    c.n_slope = 1.35;
+    c.kp = 1.15e-4;     // PMOS/NMOS cell drive ratio ~0.65 at 1.5x width,
+                        // placing the X4 pull-up resistance near 1 kOhm so
+                        // the leakage oscillation-death threshold lands at
+                        // the paper's R_L ~ 1 kOhm at 1.1 V
+    c.theta = 1.5;
+    c.lambda = 0.11;
+    c.l_nom = kDrawnLength;
+    c.cox_area = 0.025;
+    c.c_overlap = 0.30e-9;
+    c.c_junction = 0.55e-9;
+    return c;
+  }();
+  return card;
+}
+
+}  // namespace rotsv

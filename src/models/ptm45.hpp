@@ -1,0 +1,36 @@
+// 45 nm low-power-class model cards, playing the role of the paper's
+// "45 nm Predictive Technology Model (PTM) low-power CMOS models".
+//
+// The cards are calibrated (see tests/test_calibration.cpp) so that:
+//  * an X1 NMOS (W = 415 nm) drive current at VDD = 1.1 V is in the
+//    ~100-200 uA LP class;
+//  * an X4 buffer driving the paper's 59 fF TSV has a propagation delay of a
+//    few tens of ps at 1.1 V;
+//  * the effective X4 driver resistance is around 1 kOhm, which places the
+//    leakage-induced oscillation-death threshold near R_L ~ 1 kOhm at 1.1 V
+//    exactly as in the paper (Fig. 8);
+//  * gates still switch (slowly) at VDD = 0.7 V, the lower end of the
+//    paper's voltage sweeps.
+#pragma once
+
+#include "models/ekv.hpp"
+
+namespace rotsv {
+
+/// NMOS model card for the 45 nm LP-class corner.
+const MosModelCard& ptm45lp_nmos();
+
+/// PMOS model card for the 45 nm LP-class corner.
+const MosModelCard& ptm45lp_pmos();
+
+/// Nominal supply voltage of the corner [V].
+constexpr double kPtm45NominalVdd = 1.1;
+
+/// Nangate-like X1 device widths [m] (INV_X1 sizing).
+constexpr double kX1WidthNmos = 415e-9;
+constexpr double kX1WidthPmos = 630e-9;
+
+/// Drawn gate length [m].
+constexpr double kDrawnLength = 50e-9;
+
+}  // namespace rotsv

@@ -1,0 +1,57 @@
+#include "models/variation.hpp"
+
+#include <algorithm>
+
+namespace rotsv {
+namespace {
+
+constexpr double kClampSigmas = 4.0;
+
+double clamped_normal(Rng& rng) {
+  return std::clamp(rng.normal(), -kClampSigmas, kClampSigmas);
+}
+
+}  // namespace
+
+VariationModel VariationModel::none() {
+  VariationModel m;
+  m.sigma_vth = 0.0;
+  m.sigma_leff_rel = 0.0;
+  m.sigma_vth_global = 0.0;
+  m.sigma_leff_rel_global = 0.0;
+  return m;
+}
+
+VariationModel VariationModel::paper() { return VariationModel{}; }
+
+VariationModel VariationModel::with_global() {
+  VariationModel m;
+  m.sigma_vth_global = 0.010;
+  m.sigma_leff_rel_global = 0.10 / 3.0;
+  return m;
+}
+
+GlobalVariation VariationModel::draw_global(Rng& rng) const {
+  GlobalVariation g;
+  if (sigma_vth_global != 0.0) g.delta_vt = sigma_vth_global * clamped_normal(rng);
+  if (sigma_leff_rel_global != 0.0) {
+    g.l_scale = std::max(1.0 + sigma_leff_rel_global * clamped_normal(rng), 0.5);
+  }
+  return g;
+}
+
+void VariationModel::perturb(Rng& rng, const GlobalVariation& global,
+                             MosInstanceParams* inst) const {
+  inst->delta_vt += global.delta_vt;
+  inst->l_scale *= global.l_scale;
+  if (sigma_vth != 0.0) inst->delta_vt += sigma_vth * clamped_normal(rng);
+  if (sigma_leff_rel != 0.0) {
+    inst->l_scale *= std::max(1.0 + sigma_leff_rel * clamped_normal(rng), 0.5);
+  }
+}
+
+void VariationModel::perturb(Rng& rng, MosInstanceParams* inst) const {
+  perturb(rng, GlobalVariation{}, inst);
+}
+
+}  // namespace rotsv

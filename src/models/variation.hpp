@@ -1,0 +1,64 @@
+// Random process-variation model used by the Monte-Carlo experiments.
+//
+// The paper states the industry-consistent model:
+//   3*sigma(Vth)  = 30 mV   (threshold-voltage variation)
+//   3*sigma(Leff) = 10 %    (effective-gate-length variation)
+// This is per-device random mismatch (a standard HSPICE-style MC), which the
+// T1 - T2 subtraction cancels exactly along the shared path (Sec. IV-A).
+// As an extension the model also supports a *global* (die-to-die) component
+// shared by every transistor of a die; bench/abl_subtraction uses it to
+// quantify how far the subtraction helps against correlated variation.
+#pragma once
+
+#include "models/ekv.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+
+/// One die's shared (global) variation draw.
+struct GlobalVariation {
+  double delta_vt = 0.0;
+  double l_scale = 1.0;
+};
+
+struct VariationModel {
+  // Local (within-die, per-transistor) components; the paper's 3-sigma
+  // figures are used for the local part.
+  double sigma_vth = 0.010;            ///< [V] (3s = 30 mV)
+  double sigma_leff_rel = 0.10 / 3.0;  ///< relative (3s = 10 %)
+
+  // Global (die-to-die) components, shared by all transistors of one die.
+  // Zero by default: the paper's Monte Carlo (like a standard HSPICE
+  // mismatch MC) draws per-device variation only; the global component is
+  // this library's extension for studying die-to-die robustness
+  // (bench/abl_subtraction).
+  double sigma_vth_global = 0.0;
+  double sigma_leff_rel_global = 0.0;
+
+  /// No-variation model (all sigmas zero).
+  static VariationModel none();
+
+  /// Paper's nominal model (local mismatch only).
+  static VariationModel paper();
+
+  /// Paper's local model plus an equal-magnitude die-to-die component.
+  static VariationModel with_global();
+
+  /// Draws the die-level global sample.
+  GlobalVariation draw_global(Rng& rng) const;
+
+  /// Applies the die's global sample plus a fresh local draw to one
+  /// transistor instance. Samples are clamped at +/-4 sigma so an extreme
+  /// draw cannot give a non-physical effective length.
+  void perturb(Rng& rng, const GlobalVariation& global, MosInstanceParams* inst) const;
+
+  /// Legacy convenience: local-only perturbation (no global component).
+  void perturb(Rng& rng, MosInstanceParams* inst) const;
+
+  bool enabled() const {
+    return sigma_vth != 0.0 || sigma_leff_rel != 0.0 || sigma_vth_global != 0.0 ||
+           sigma_leff_rel_global != 0.0;
+  }
+};
+
+}  // namespace rotsv

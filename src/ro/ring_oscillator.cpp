@@ -1,0 +1,110 @@
+#include "ro/ring_oscillator.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+RingOscillator::RingOscillator(const RingOscillatorConfig& config)
+    : config_(config), vdd_(config.vdd) {
+  require(config.num_tsvs >= 1, "ring oscillator needs at least one TSV segment");
+  require(config.vdd > 0.0, "vdd must be positive");
+  require(config.faults.size() <= static_cast<size_t>(config.num_tsvs),
+          "more faults than TSVs");
+
+  CellContext ctx = CellContext::standard(circuit_);
+  vdd_source_ = &circuit_.add_voltage_source("vvdd", ctx.vdd, kGround,
+                                             SourceWaveform::dc(vdd_));
+
+  // Control signals, driven by ideal sources standing in for the DfT control
+  // logic: test mode (TE=1), drivers enabled (OE=1), functional data low.
+  const NodeId te = circuit_.node("te");
+  const NodeId oe = circuit_.node("oe");
+  const NodeId func = circuit_.node("func");
+  te_source_ = &circuit_.add_voltage_source("vte", te, kGround, SourceWaveform::dc(vdd_));
+  oe_source_ = &circuit_.add_voltage_source("voe", oe, kGround, SourceWaveform::dc(vdd_));
+  circuit_.add_voltage_source("vfunc", func, kGround, SourceWaveform::dc(0.0));
+
+  probe_ = circuit_.node("osc");
+  NodeId chain = probe_;
+  bypassed_.assign(static_cast<size_t>(config.num_tsvs), false);
+  for (int i = 0; i < config.num_tsvs; ++i) {
+    const NodeId by = circuit_.node(format("by%d", i));
+    by_sources_.push_back(&circuit_.add_voltage_source(format("vby%d", i), by, kGround,
+                                                       SourceWaveform::dc(0.0)));
+    IoSegmentControls controls{te, oe, by, func};
+    const TsvFault fault = static_cast<size_t>(i) < config.faults.size()
+                               ? config.faults[static_cast<size_t>(i)]
+                               : TsvFault::none();
+    segments_.push_back(build_io_segment(ctx, format("seg%d", i), chain, controls,
+                                         config.tech, fault, config.driver_strength));
+    chain = segments_.back().seg_out;
+  }
+  // Close the loop with the shared inverter (odd total inversion count).
+  make_inverter(ctx, "ringinv", chain, probe_, 1);
+
+  circuit_.check_connectivity();
+
+  for (Mosfet* m : circuit_.mosfets()) pristine_params_.push_back(m->params());
+}
+
+void RingOscillator::set_vdd(double vdd) {
+  require(vdd > 0.0, "vdd must be positive");
+  vdd_ = vdd;
+  vdd_source_->set_waveform(SourceWaveform::dc(vdd));
+  te_source_->set_waveform(SourceWaveform::dc(vdd));
+  oe_source_->set_waveform(SourceWaveform::dc(vdd));
+  for (size_t i = 0; i < by_sources_.size(); ++i) {
+    by_sources_[i]->set_waveform(SourceWaveform::dc(bypassed_[i] ? vdd : 0.0));
+  }
+}
+
+void RingOscillator::set_bypass(const std::vector<bool>& bypassed) {
+  require(bypassed.size() == by_sources_.size(), "bypass vector size mismatch");
+  bypassed_ = bypassed;
+  for (size_t i = 0; i < by_sources_.size(); ++i) {
+    by_sources_[i]->set_waveform(SourceWaveform::dc(bypassed_[i] ? vdd_ : 0.0));
+  }
+}
+
+void RingOscillator::bypass_all() {
+  set_bypass(std::vector<bool>(by_sources_.size(), true));
+}
+
+void RingOscillator::enable_only(int index) {
+  require(index >= 0 && static_cast<size_t>(index) < by_sources_.size(),
+          "enable_only: index out of range");
+  std::vector<bool> b(by_sources_.size(), true);
+  b[static_cast<size_t>(index)] = false;
+  set_bypass(b);
+}
+
+void RingOscillator::enable_first(int m) {
+  require(m >= 0 && static_cast<size_t>(m) <= by_sources_.size(),
+          "enable_first: m out of range");
+  std::vector<bool> b(by_sources_.size(), true);
+  for (int i = 0; i < m; ++i) b[static_cast<size_t>(i)] = false;
+  set_bypass(b);
+}
+
+void RingOscillator::apply_variation(const VariationModel& model, Rng& rng) {
+  clear_variation();
+  // One global (die-to-die) draw shared by every transistor of this die,
+  // plus an independent local draw per transistor.
+  const GlobalVariation global = model.draw_global(rng);
+  for (Mosfet* m : circuit_.mosfets()) {
+    model.perturb(rng, global, &m->mutable_params());
+    m->refresh_caps();
+  }
+}
+
+void RingOscillator::clear_variation() {
+  const auto mosfets = circuit_.mosfets();
+  require(mosfets.size() == pristine_params_.size(), "mosfet count changed");
+  for (size_t i = 0; i < mosfets.size(); ++i) {
+    mosfets[i]->mutable_params() = pristine_params_[i];
+    mosfets[i]->refresh_caps();
+  }
+}
+
+}  // namespace rotsv

@@ -1,0 +1,71 @@
+// The paper's Fig. 3 DfT structure: N I/O segments (each with a TSV) chained
+// into a loop closed by one inverter. Bypass state and supply voltage can be
+// changed between runs without rebuilding the circuit, which is exactly what
+// the T1/T2 subtraction measurement needs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/variation.hpp"
+#include "ro/segment.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+
+struct RingOscillatorConfig {
+  int num_tsvs = 5;            ///< N, the paper's group size
+  int driver_strength = 4;     ///< X4 drivers as in the paper
+  double vdd = 1.1;            ///< initial supply voltage [V]
+  TsvTechnology tech = TsvTechnology::paper();
+  /// Per-TSV fault; missing entries mean fault-free.
+  std::vector<TsvFault> faults;
+};
+
+class RingOscillator {
+ public:
+  explicit RingOscillator(const RingOscillatorConfig& config);
+
+  // Non-copyable (owns a Circuit with internal pointers).
+  RingOscillator(const RingOscillator&) = delete;
+  RingOscillator& operator=(const RingOscillator&) = delete;
+
+  /// Changes the supply voltage (rails and control-signal high levels).
+  void set_vdd(double vdd);
+  double vdd() const { return vdd_; }
+
+  /// Per-segment bypass state; true = TSV excluded from the loop.
+  void set_bypass(const std::vector<bool>& bypassed);
+  /// Convenience patterns used by the experiments.
+  void bypass_all();
+  void enable_only(int index);
+  void enable_first(int m);
+
+  /// Re-samples process variation for every transistor: parameters are reset
+  /// to their pristine values and then perturbed, so calls do not accumulate.
+  void apply_variation(const VariationModel& model, Rng& rng);
+  /// Restores pristine (no-variation) transistor parameters.
+  void clear_variation();
+
+  Circuit& circuit() { return circuit_; }
+  const RingOscillatorConfig& config() const { return config_; }
+
+  /// The observed oscillator node (ring-inverter output).
+  NodeId probe() const { return probe_; }
+  const std::vector<IoSegment>& segments() const { return segments_; }
+
+ private:
+  RingOscillatorConfig config_;
+  Circuit circuit_;
+  double vdd_;
+  std::vector<IoSegment> segments_;
+  NodeId probe_;
+  VoltageSource* vdd_source_ = nullptr;
+  VoltageSource* te_source_ = nullptr;
+  VoltageSource* oe_source_ = nullptr;
+  std::vector<VoltageSource*> by_sources_;
+  std::vector<bool> bypassed_;
+  std::vector<MosInstanceParams> pristine_params_;
+};
+
+}  // namespace rotsv

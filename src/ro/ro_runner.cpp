@@ -1,0 +1,113 @@
+#include "ro/ro_runner.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+TransientOptions make_transient_options(const RingOscillator& ro,
+                                        const RoRunOptions& options, double t_stop,
+                                        std::vector<NodeId> record) {
+  TransientOptions t;
+  t.t_stop = t_stop;
+  t.method = options.method;
+  t.dt_max = options.dt_max;
+  t.err_target = options.err_target;
+  t.err_reject = options.err_reject;
+  t.record = std::move(record);
+  (void)ro;
+  return t;
+}
+
+RoMeasurement measure_window(RingOscillator& ro, const RoRunOptions& options,
+                             double t_stop) {
+  TransientOptions topt = make_transient_options(ro, options, t_stop, {ro.probe()});
+  TransientResult tr = run_transient(ro.circuit(), topt);
+
+  OscillationOptions oo;
+  oo.level = ro.vdd() / 2.0;
+  oo.discard_cycles = options.discard_cycles;
+  oo.min_cycles = options.measure_cycles;
+  const OscillationMeasurement m = measure_oscillation(tr.waveforms, ro.probe(), oo);
+
+  RoMeasurement out;
+  out.oscillating = m.oscillating;
+  out.period = m.period;
+  out.period_stddev = m.period_stddev;
+  out.cycles = m.cycles;
+  out.stats = tr.stats;
+  return out;
+}
+
+}  // namespace
+
+RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options) {
+  const double first = std::min(options.first_window, options.max_time);
+  RoMeasurement m = measure_window(ro, options, first);
+  if (m.oscillating || first >= options.max_time) return m;
+  return measure_window(ro, options, options.max_time);
+}
+
+DeltaTResult measure_delta_t(RingOscillator& ro, int enabled_tsvs,
+                             const RoRunOptions& options) {
+  require(enabled_tsvs >= 1 && enabled_tsvs <= ro.config().num_tsvs,
+          "measure_delta_t: enabled_tsvs out of range");
+  DeltaTResult result;
+
+  ro.enable_first(enabled_tsvs);
+  const RoMeasurement t1 = measure_period(ro, options);
+
+  ro.bypass_all();
+  const RoMeasurement t2 = measure_period(ro, options);
+
+  if (!t2.oscillating) {
+    // The reference run must oscillate; if not, the DfT itself is broken.
+    throw ConvergenceError("measure_delta_t: bypass-all reference run does not oscillate");
+  }
+  result.t2 = t2.period;
+  if (!t1.oscillating) {
+    result.stuck = true;
+    return result;
+  }
+  result.valid = true;
+  result.t1 = t1.period;
+  result.delta_t = t1.period - t2.period;
+  return result;
+}
+
+DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
+                                    const RoRunOptions& options) {
+  require(tsv_index >= 0 && tsv_index < ro.config().num_tsvs,
+          "measure_delta_t_single: index out of range");
+  DeltaTResult result;
+
+  ro.enable_only(tsv_index);
+  const RoMeasurement t1 = measure_period(ro, options);
+
+  ro.bypass_all();
+  const RoMeasurement t2 = measure_period(ro, options);
+  if (!t2.oscillating) {
+    throw ConvergenceError(
+        "measure_delta_t_single: bypass-all reference run does not oscillate");
+  }
+  result.t2 = t2.period;
+  if (!t1.oscillating) {
+    result.stuck = true;
+    return result;
+  }
+  result.valid = true;
+  result.t1 = t1.period;
+  result.delta_t = t1.period - t2.period;
+  return result;
+}
+
+TransientResult capture_waveforms(RingOscillator& ro, double t_stop,
+                                  const std::vector<NodeId>& record,
+                                  const RoRunOptions& options) {
+  TransientOptions topt = make_transient_options(ro, options, t_stop, record);
+  return run_transient(ro.circuit(), topt);
+}
+
+}  // namespace rotsv

@@ -1,0 +1,65 @@
+// Transient driver for ring oscillators: runs the circuit, extracts the
+// oscillation period, and implements the paper's T1/T2 subtraction
+// measurement (Sec. IV-A):
+//
+//   T1 = period with the TSV(s) under test in the loop
+//   T2 = period with every TSV bypassed
+//   dT = T1 - T2   -- cancels the shared-path delay and most process spread.
+#pragma once
+
+#include "ro/ring_oscillator.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+
+namespace rotsv {
+
+struct RoRunOptions {
+  int discard_cycles = 2;
+  int measure_cycles = 4;
+  /// First simulation window [s]; extended to `max_time` once when too few
+  /// cycles were observed (slow oscillation at low VDD / heavy leakage).
+  double first_window = 60e-9;
+  double max_time = 400e-9;
+  Integrator method = Integrator::kTrapezoidal;
+  double dt_max = 250e-12;
+  double err_target = 0.008;
+  double err_reject = 0.05;
+};
+
+struct RoMeasurement {
+  bool oscillating = false;
+  double period = 0.0;
+  double period_stddev = 0.0;
+  int cycles = 0;
+  TransientStats stats;
+};
+
+/// Measures the oscillation period of the ring in its current configuration
+/// (bypass pattern, VDD, variation sample).
+RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options = {});
+
+struct DeltaTResult {
+  bool valid = false;     ///< false when T1 does not oscillate (stuck-at)
+  bool stuck = false;     ///< T1 run did not oscillate (strong leakage)
+  double t1 = 0.0;
+  double t2 = 0.0;
+  double delta_t = 0.0;   ///< T1 - T2
+};
+
+/// Runs the paper's two-run measurement: first with `enabled_tsvs` TSVs of
+/// the group in the loop (all when m > N is not allowed), then with all
+/// bypassed, and returns the subtraction. The bypass state is restored.
+DeltaTResult measure_delta_t(RingOscillator& ro, int enabled_tsvs,
+                             const RoRunOptions& options = {});
+
+/// Same, enabling exactly one TSV (index) -- the per-TSV test.
+DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
+                                    const RoRunOptions& options = {});
+
+/// Captures the transient waveforms of the current configuration (used by
+/// the Fig. 4 waveform bench and for debugging).
+TransientResult capture_waveforms(RingOscillator& ro, double t_stop,
+                                  const std::vector<NodeId>& record,
+                                  const RoRunOptions& options = {});
+
+}  // namespace rotsv

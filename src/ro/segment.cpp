@@ -1,0 +1,32 @@
+#include "ro/segment.hpp"
+
+namespace rotsv {
+
+IoSegment build_io_segment(const CellContext& ctx, const std::string& name,
+                           NodeId seg_in, const IoSegmentControls& controls,
+                           const TsvTechnology& tech, const TsvFault& fault,
+                           int driver_strength) {
+  Circuit& c = *ctx.circuit;
+  IoSegment seg;
+  seg.seg_in = seg_in;
+  const NodeId drv_in = c.node(name + ".drvin");
+  seg.tsv_front = c.node(name + ".tsv");
+  seg.rcv_out = c.node(name + ".rcv");
+  seg.seg_out = c.node(name + ".out");
+
+  // TE mux: TE=0 selects functional data, TE=1 selects the oscillator loop.
+  make_mux2(ctx, name + ".tmux", controls.func_in, seg_in, controls.te, drv_in);
+
+  // Bidirectional I/O cell, test direction: tri-state driver onto the TSV
+  // net, receiver buffer back toward the core.
+  make_tristate_buffer(ctx, name + ".drv", drv_in, controls.oe, seg.tsv_front,
+                       driver_strength);
+  seg.tsv = attach_tsv(c, name + ".via", seg.tsv_front, tech, fault);
+  make_buffer(ctx, name + ".rx", seg.tsv_front, seg.rcv_out, 1);
+
+  // BY mux: BY=0 keeps the TSV path in the loop, BY=1 bypasses it.
+  make_mux2(ctx, name + ".bmux", seg.rcv_out, seg_in, controls.by, seg.seg_out);
+  return seg;
+}
+
+}  // namespace rotsv

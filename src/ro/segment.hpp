@@ -1,0 +1,41 @@
+// One I/O segment of the paper's Fig. 3 ring oscillator:
+//
+//   seg_in -->[TE mux]--> TBUF driver (OE) --> tsv_front (TSV load)
+//                                               --> BUF receiver --> [BY mux]--> seg_out
+//   seg_in ------------------------------------------------------------^ (bypass input)
+//
+// TE selects functional data vs. the oscillator loop; BY=1 excludes the
+// driver/TSV/receiver path from the loop (the driver keeps toggling, as in
+// the real DfT where OE stays asserted in test mode). Both muxes are the
+// "two multiplexers per TSV" of the paper's area estimate.
+#pragma once
+
+#include <string>
+
+#include "cells/gates.hpp"
+#include "tsv/tsv_model.hpp"
+
+namespace rotsv {
+
+struct IoSegmentControls {
+  NodeId te;        ///< test-enable select (shared by all segments)
+  NodeId oe;        ///< output-enable for the tri-state driver
+  NodeId by;        ///< per-segment bypass select
+  NodeId func_in;   ///< functional-mode data input (tied low during test)
+};
+
+struct IoSegment {
+  NodeId seg_in;
+  NodeId seg_out;
+  NodeId tsv_front;   ///< the net loaded by the TSV
+  NodeId rcv_out;     ///< receiver output ("to core" in the paper's Fig. 4)
+  TsvInstance tsv;
+};
+
+/// Builds one I/O segment with its TSV (and fault) into the circuit.
+IoSegment build_io_segment(const CellContext& ctx, const std::string& name,
+                           NodeId seg_in, const IoSegmentControls& controls,
+                           const TsvTechnology& tech, const TsvFault& fault,
+                           int driver_strength);
+
+}  // namespace rotsv

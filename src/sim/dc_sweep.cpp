@@ -1,0 +1,66 @@
+#include "sim/dc_sweep.hpp"
+
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+VoltageSource* find_source(Circuit& circuit, const std::string& name) {
+  auto* device = circuit.find_device(name);
+  auto* source = dynamic_cast<VoltageSource*>(device);
+  require(source != nullptr, "dc_sweep: no voltage source named '" + name + "'");
+  return source;
+}
+
+/// RAII restore of a source's waveform.
+class WaveformGuard {
+ public:
+  explicit WaveformGuard(VoltageSource* source)
+      : source_(source), saved_(source->waveform()) {}
+  ~WaveformGuard() { source_->set_waveform(saved_); }
+
+ private:
+  VoltageSource* source_;
+  SourceWaveform saved_;
+};
+
+}  // namespace
+
+DcSweepResult dc_sweep(Circuit& circuit, const std::string& source_name, double start,
+                       double stop, int points, const DcOptions& options) {
+  require(points >= 2, "dc_sweep: need at least 2 points");
+  VoltageSource* source = find_source(circuit, source_name);
+  WaveformGuard guard(source);
+
+  DcSweepResult result;
+  const double step = (stop - start) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double value = start + step * i;
+    source->set_waveform(SourceWaveform::dc(value));
+    // dc_operating_point seeds from source-driven nodes, so continuation is
+    // implicit; gmin stepping backs it up at hard points.
+    result.sweep_values.push_back(value);
+    result.node_voltages.push_back(dc_operating_point(circuit, options));
+  }
+  return result;
+}
+
+double find_switching_threshold(Circuit& circuit, const std::string& source_name,
+                                NodeId out, double lo, double hi, int iterations) {
+  VoltageSource* source = find_source(circuit, source_name);
+  WaveformGuard guard(source);
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    source->set_waveform(SourceWaveform::dc(mid));
+    const Vector v = dc_operating_point(circuit);
+    // Inverting stage: output above the input means we are left of VM.
+    if (v[static_cast<size_t>(out.value)] > mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace rotsv

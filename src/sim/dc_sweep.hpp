@@ -1,0 +1,32 @@
+// DC sweep analysis: repeated operating-point solves while stepping one
+// voltage source, reusing each solution as the next initial guess
+// (continuation), as SPICE's .DC does. Used for transfer characteristics
+// (inverter VTC, receiver thresholds) and the leakage DC-level analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/newton.hpp"
+
+namespace rotsv {
+
+struct DcSweepResult {
+  std::vector<double> sweep_values;   ///< source values actually applied
+  std::vector<Vector> node_voltages;  ///< node-indexed solution per point
+};
+
+/// Sweeps the DC value of the named voltage source over [start, stop] in
+/// `points` uniform steps. The source's original waveform is restored
+/// afterwards. Throws ConfigError if the source does not exist and
+/// ConvergenceError if any point fails to converge.
+DcSweepResult dc_sweep(Circuit& circuit, const std::string& source_name, double start,
+                       double stop, int points, const DcOptions& options = {});
+
+/// Finds the input level where `out` crosses `in` (the switching threshold
+/// VM of an inverting stage) by bisection on DC solves of `source_name`.
+double find_switching_threshold(Circuit& circuit, const std::string& source_name,
+                                NodeId out, double lo, double hi,
+                                int iterations = 30);
+
+}  // namespace rotsv

@@ -1,0 +1,100 @@
+#include "sim/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+std::vector<double> threshold_crossings(const std::vector<double>& time,
+                                        const std::vector<double>& v, double level,
+                                        Edge edge) {
+  std::vector<double> out;
+  if (time.size() != v.size()) throw ConfigError("threshold_crossings: size mismatch");
+  for (size_t i = 1; i < v.size(); ++i) {
+    const double a = v[i - 1];
+    const double b = v[i];
+    const bool rising = a < level && b >= level;
+    const bool falling = a > level && b <= level;
+    const bool take = (edge == Edge::kRising && rising) ||
+                      (edge == Edge::kFalling && falling) ||
+                      (edge == Edge::kAny && (rising || falling));
+    if (!take) continue;
+    const double span = b - a;
+    const double f = span == 0.0 ? 0.0 : (level - a) / span;
+    out.push_back(time[i - 1] + f * (time[i] - time[i - 1]));
+  }
+  return out;
+}
+
+OscillationMeasurement measure_oscillation(const WaveformSet& waveforms, NodeId node,
+                                           const OscillationOptions& options) {
+  OscillationMeasurement m;
+  const auto& t = waveforms.time();
+  const auto& v = waveforms.values(node);
+  if (v.empty()) return m;
+
+  m.v_min = *std::min_element(v.begin(), v.end());
+  m.v_max = *std::max_element(v.begin(), v.end());
+
+  const auto rises = threshold_crossings(t, v, options.level, Edge::kRising);
+  const int discard = options.discard_cycles;
+  const int available = static_cast<int>(rises.size()) - 1 - discard;
+  if (available < options.min_cycles) return m;  // not oscillating
+
+  // Swing check on the *measured* tail: after the discarded cycles the swing
+  // must still cover the threshold comfortably, otherwise a decaying or
+  // clipped node would masquerade as an oscillator.
+  const double t_tail = rises[static_cast<size_t>(discard)];
+  double tail_min = 1e300;
+  double tail_max = -1e300;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (t[i] < t_tail) continue;
+    tail_min = std::min(tail_min, v[i]);
+    tail_max = std::max(tail_max, v[i]);
+  }
+  const double required_swing = options.swing_fraction * 2.0 * options.level;
+  if (tail_max - tail_min < required_swing) return m;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int count = 0;
+  for (size_t i = static_cast<size_t>(discard) + 1; i < rises.size(); ++i) {
+    const double p = rises[i] - rises[i - 1];
+    sum += p;
+    sum_sq += p * p;
+    ++count;
+  }
+  m.cycles = count;
+  m.period = sum / count;
+  const double var = std::max(sum_sq / count - m.period * m.period, 0.0);
+  m.period_stddev = std::sqrt(var);
+  m.oscillating = true;
+  return m;
+}
+
+double propagation_delay(const WaveformSet& waveforms, NodeId in, NodeId out,
+                         double level, Edge edge_in, Edge edge_out) {
+  const auto& t = waveforms.time();
+  const auto in_x = threshold_crossings(t, waveforms.values(in), level, edge_in);
+  const auto out_x = threshold_crossings(t, waveforms.values(out), level, edge_out);
+  if (in_x.empty()) return -1.0;
+  const double t_in = in_x.front();
+  for (double t_out : out_x) {
+    if (t_out > t_in) return t_out - t_in;
+  }
+  return -1.0;
+}
+
+double mean_interval(const std::vector<double>& crossings, int k) {
+  const int n = static_cast<int>(crossings.size());
+  if (n < 2) return 0.0;
+  const int use = std::min(k, n - 1);
+  double sum = 0.0;
+  for (int i = n - use; i < n; ++i) sum += crossings[static_cast<size_t>(i)] -
+                                           crossings[static_cast<size_t>(i - 1)];
+  return sum / use;
+}
+
+}  // namespace rotsv

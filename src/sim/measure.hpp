@@ -1,0 +1,52 @@
+// Waveform measurements: threshold crossings, oscillation period extraction
+// and propagation delay -- the observables every experiment in the paper is
+// built from.
+#pragma once
+
+#include <vector>
+
+#include "sim/waveform.hpp"
+
+namespace rotsv {
+
+enum class Edge { kRising, kFalling, kAny };
+
+/// Times at which `v` crosses `level` with the requested edge, linearly
+/// interpolated between samples.
+std::vector<double> threshold_crossings(const std::vector<double>& time,
+                                        const std::vector<double>& v, double level,
+                                        Edge edge);
+
+struct OscillationOptions {
+  double level = 0.55;       ///< crossing threshold [V], typically VDD/2
+  int discard_cycles = 2;    ///< initial cycles dropped (startup transient)
+  int min_cycles = 3;        ///< required full cycles after discard
+  double swing_fraction = 0.6;  ///< required min swing relative to `level`*2
+};
+
+struct OscillationMeasurement {
+  bool oscillating = false;
+  double period = 0.0;         ///< mean period over the measured cycles [s]
+  double period_stddev = 0.0;  ///< cycle-to-cycle standard deviation [s]
+  int cycles = 0;              ///< cycles used for the mean
+  double v_min = 0.0;
+  double v_max = 0.0;
+};
+
+/// Extracts the oscillation period of a recorded node from rising-edge
+/// crossings. `oscillating` is false when there are too few cycles or the
+/// swing is below the required fraction of 2*level (e.g. a leakage-killed
+/// ring that sits at a DC level -- the paper's stuck-at-0 behaviour).
+OscillationMeasurement measure_oscillation(const WaveformSet& waveforms, NodeId node,
+                                           const OscillationOptions& options);
+
+/// Propagation delay from the `edge_in` crossing of `in` to the next
+/// corresponding crossing of `out` (inverting receivers measure kAny).
+/// Returns a negative value when no matching output crossing exists.
+double propagation_delay(const WaveformSet& waveforms, NodeId in, NodeId out,
+                         double level, Edge edge_in, Edge edge_out);
+
+/// Mean of the last `k` inter-crossing intervals (helper shared by tests).
+double mean_interval(const std::vector<double>& crossings, int k);
+
+}  // namespace rotsv

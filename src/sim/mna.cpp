@@ -1,0 +1,39 @@
+#include "sim/mna.hpp"
+
+namespace rotsv {
+
+MnaSystem::MnaSystem(const Circuit& circuit)
+    : circuit_(circuit),
+      node_unknowns_(circuit.nodes().unknown_count()),
+      total_unknowns_(circuit.unknown_count()),
+      jacobian_(circuit.unknown_count(), circuit.unknown_count()),
+      rhs_(circuit.unknown_count(), 0.0) {}
+
+void MnaSystem::assemble(const LoadContext& ctx) {
+  jacobian_.clear();
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  Stamper stamper(jacobian_, rhs_, node_unknowns_);
+  for (const auto& device : circuit_.devices()) {
+    device->load(stamper, ctx);
+  }
+  // gmin shunts keep otherwise-floating nodes (e.g. the far side of an open
+  // TSV) well conditioned.
+  if (ctx.gmin > 0.0) {
+    for (size_t i = 1; i <= node_unknowns_; ++i) {
+      stamper.shunt_to_ground(NodeId{static_cast<int>(i)}, ctx.gmin);
+    }
+  }
+}
+
+Vector MnaSystem::to_node_voltages(const Vector& solution) const {
+  Vector v(node_unknowns_ + 1, 0.0);
+  write_node_voltages(solution, &v);
+  return v;
+}
+
+void MnaSystem::write_node_voltages(const Vector& solution, Vector* out) const {
+  out->assign(node_unknowns_ + 1, 0.0);
+  for (size_t i = 0; i < node_unknowns_; ++i) (*out)[i + 1] = solution[i];
+}
+
+}  // namespace rotsv

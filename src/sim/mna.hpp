@@ -1,0 +1,41 @@
+// Modified-nodal-analysis system assembly: translates a Circuit plus a
+// LoadContext into the dense Jacobian / RHS pair solved by Newton.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rotsv {
+
+class MnaSystem {
+ public:
+  explicit MnaSystem(const Circuit& circuit);
+
+  /// Clears and re-stamps the system for the given context. `ctx.v` and
+  /// `ctx.v_prev` must point at node-indexed voltage vectors
+  /// (size == circuit.nodes().size(), entry 0 = ground).
+  void assemble(const LoadContext& ctx);
+
+  Matrix& jacobian() { return jacobian_; }
+  Vector& rhs() { return rhs_; }
+
+  size_t node_unknowns() const { return node_unknowns_; }
+  size_t total_unknowns() const { return total_unknowns_; }
+
+  /// Expands an unknown vector (solution of jacobian * x = rhs) into a
+  /// node-indexed voltage vector with the ground entry prepended.
+  Vector to_node_voltages(const Vector& solution) const;
+
+  /// Extracts node voltages out of an unknown vector in place of `out`
+  /// (avoids allocation in the Newton loop).
+  void write_node_voltages(const Vector& solution, Vector* out) const;
+
+ private:
+  const Circuit& circuit_;
+  size_t node_unknowns_;
+  size_t total_unknowns_;
+  Matrix jacobian_;
+  Vector rhs_;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,126 @@
+#include "sim/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+NewtonResult newton_solve(const Circuit& circuit, MnaSystem& mna, LoadContext ctx,
+                          Vector* node_voltages, const NewtonOptions& options,
+                          Vector* branch_currents) {
+  (void)circuit;  // the MnaSystem already references the circuit's devices
+  const size_t n_nodes = mna.node_unknowns();
+  Vector v = *node_voltages;  // node-indexed iterate
+  if (v.size() != n_nodes + 1)
+    throw ConfigError("newton_solve: bad initial-guess size");
+  ctx.v = &v;
+  if (ctx.v_prev == nullptr) ctx.v_prev = node_voltages;
+  ctx.gmin = options.gmin;
+
+  NewtonResult result;
+  Vector solution;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    mna.assemble(ctx);
+    solution = mna.rhs();
+    try {
+      LuFactorization lu(mna.jacobian());
+      lu.solve_in_place(solution);
+    } catch (const ConvergenceError&) {
+      result.converged = false;
+      result.iterations = iter + 1;
+      return result;
+    }
+
+    // Damped update of node voltages; branch currents are taken directly.
+    // Convergence is judged on the *undamped* Newton step so that an
+    // actively-clamped iterate can never be declared converged.
+    double max_update = 0.0;
+    for (size_t i = 0; i < n_nodes; ++i) {
+      const double raw = solution[i] - v[i + 1];
+      const double delta = std::clamp(raw, -options.max_update, options.max_update);
+      v[i + 1] += delta;
+      max_update = std::max(max_update, std::fabs(raw));
+    }
+    result.iterations = iter + 1;
+    result.final_update = max_update;
+
+    const double tol = options.abs_tol + options.rel_tol * inf_norm(v);
+    if (max_update < tol) {
+      result.converged = true;
+      *node_voltages = v;
+      if (branch_currents != nullptr) {
+        branch_currents->assign(solution.begin() + static_cast<long>(n_nodes),
+                                solution.end());
+      }
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+Vector dc_operating_point(const Circuit& circuit, const DcOptions& options) {
+  MnaSystem mna(circuit);
+  LoadContext ctx;
+  ctx.kind = AnalysisKind::kDcOperatingPoint;
+
+  // Initial guess: all nodes at 0 V except nodes directly driven by DC
+  // voltage sources, which start at their source value (helps rail nodes).
+  Vector guess(mna.node_unknowns() + 1, 0.0);
+  for (const auto& device : circuit.devices()) {
+    if (const auto* vs = dynamic_cast<const VoltageSource*>(device.get())) {
+      if (vs->negative().is_ground() && !vs->positive().is_ground()) {
+        guess[static_cast<size_t>(vs->positive().value)] = vs->waveform().dc_value();
+      }
+    }
+  }
+
+  // Plain solve first.
+  {
+    Vector v = guess;
+    NewtonOptions plain = options.newton;
+    LoadContext c = ctx;
+    Vector v_prev = guess;
+    c.v_prev = &v_prev;
+    if (newton_solve(circuit, mna, c, &v, plain).converged) return v;
+  }
+
+  // gmin continuation: solve with a large shunt, then tighten, reusing the
+  // previous solution as the guess.
+  Vector v = guess;
+  bool have_solution = false;
+  for (double gmin : options.gmin_steps) {
+    NewtonOptions step = options.newton;
+    step.gmin = gmin;
+    step.max_iterations = 300;
+    Vector v_prev = v;
+    LoadContext c = ctx;
+    c.v_prev = &v_prev;
+    Vector attempt = v;
+    if (newton_solve(circuit, mna, c, &attempt, step).converged) {
+      v = attempt;
+      have_solution = true;
+    } else if (!have_solution) {
+      // Even the heavily-damped system failed; keep trying smaller gmin from
+      // the flat guess.
+      v = guess;
+    }
+  }
+  if (!have_solution)
+    throw ConvergenceError("dc_operating_point: no convergence (plain + gmin stepping)");
+
+  // Final polish at the target gmin.
+  Vector v_prev = v;
+  LoadContext c = ctx;
+  c.v_prev = &v_prev;
+  NewtonOptions final_opts = options.newton;
+  if (!newton_solve(circuit, mna, c, &v, final_opts).converged)
+    throw ConvergenceError("dc_operating_point: final polish diverged");
+  return v;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,43 @@
+// Damped Newton-Raphson solver over an MnaSystem, plus the DC operating
+// point analysis built on it (with gmin-stepping continuation fallback).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "sim/mna.hpp"
+
+namespace rotsv {
+
+struct NewtonOptions {
+  int max_iterations = 150;
+  double abs_tol = 1e-6;    ///< volts: max node-voltage update to declare converged
+  double rel_tol = 1e-4;    ///< relative component of the tolerance
+  double max_update = 0.4;  ///< volts: per-iteration node-voltage step limit
+  double gmin = 1e-12;      ///< shunt conductance to ground on every node
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double final_update = 0.0;  ///< inf-norm of the last node-voltage update
+};
+
+/// Runs Newton iterations for the analysis described by `ctx` (its `v` /
+/// `v_prev` pointers are managed by this function). On entry
+/// `node_voltages` is the initial guess (node-indexed, ground first);
+/// on success it holds the solution. `branch_currents`, when non-null,
+/// receives the source branch currents of the solution.
+NewtonResult newton_solve(const Circuit& circuit, MnaSystem& mna, LoadContext ctx,
+                          Vector* node_voltages, const NewtonOptions& options,
+                          Vector* branch_currents = nullptr);
+
+struct DcOptions {
+  NewtonOptions newton;
+  /// gmin continuation sequence tried when the plain solve diverges.
+  std::vector<double> gmin_steps = {1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12};
+};
+
+/// Computes the DC operating point. Returns node-indexed voltages.
+/// Throws ConvergenceError if no strategy converges.
+Vector dc_operating_point(const Circuit& circuit, const DcOptions& options = {});
+
+}  // namespace rotsv

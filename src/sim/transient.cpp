@@ -1,0 +1,136 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+/// Builds the node-indexed initial-condition vector.
+Vector initial_voltages(const Circuit& circuit, const TransientOptions& options) {
+  Vector v(circuit.nodes().unknown_count() + 1, 0.0);
+  // Nodes tied to ground-referenced DC sources start at the source value so
+  // rails are correct even when the caller forgets to list them.
+  for (const auto& device : circuit.devices()) {
+    if (const auto* vs = dynamic_cast<const VoltageSource*>(device.get())) {
+      if (vs->negative().is_ground() && !vs->positive().is_ground()) {
+        v[static_cast<size_t>(vs->positive().value)] = vs->waveform().at(0.0);
+      }
+    }
+  }
+  for (const auto& [node, volts] : options.initial_conditions) {
+    if (!node.is_ground()) v[static_cast<size_t>(node.value)] = volts;
+  }
+  return v;
+}
+
+}  // namespace
+
+TransientResult run_transient(const Circuit& circuit, const TransientOptions& options) {
+  if (!(options.t_stop > 0.0)) throw ConfigError("transient: t_stop must be > 0");
+
+  MnaSystem mna(circuit);
+  const size_t n_nodes = mna.node_unknowns();
+
+  // Recorded nodes.
+  std::vector<NodeId> record = options.record;
+  if (record.empty()) {
+    for (size_t i = 1; i <= n_nodes; ++i) record.push_back(NodeId{static_cast<int>(i)});
+  }
+
+  TransientResult result;
+  result.waveforms = WaveformSet(record);
+
+  // State vectors: device dynamic state at the previous accepted point and
+  // the scratch slot written during the Newton solve of the current step.
+  Vector state_prev(circuit.state_count(), 0.0);
+  Vector state_now(circuit.state_count(), 0.0);
+
+  Vector v_prev = initial_voltages(circuit, options);  // accepted at t_prev
+  Vector v_prev2 = v_prev;                             // accepted before that
+  double h_prev = options.dt_initial;
+
+  result.waveforms.append(0.0, v_prev);
+
+  double h = options.dt_initial;
+  double t = 0.0;
+  bool first_step = true;
+
+  while (t < options.t_stop - 1e-18) {
+    if (result.stats.steps_accepted > options.max_steps) {
+      throw ConvergenceError("transient: max_steps exceeded");
+    }
+    h = std::min(h, options.t_stop - t);
+    const double t_new = t + h;
+
+    // Predictor: linear extrapolation of the last two accepted points.
+    Vector v_guess(v_prev.size());
+    if (first_step || h_prev <= 0.0) {
+      v_guess = v_prev;
+    } else {
+      const double r = h / h_prev;
+      for (size_t i = 0; i < v_prev.size(); ++i) {
+        v_guess[i] = v_prev[i] + (v_prev[i] - v_prev2[i]) * r;
+      }
+    }
+    Vector v_solved = v_guess;
+
+    LoadContext ctx;
+    ctx.kind = AnalysisKind::kTransient;
+    // The very first step bootstraps trapezoidal state with backward Euler.
+    ctx.method = first_step ? Integrator::kBackwardEuler : options.method;
+    ctx.time = t_new;
+    ctx.h = h;
+    ctx.v_prev = &v_prev;
+    ctx.state_prev = state_prev.data();
+    ctx.state_now = state_now.data();
+
+    const NewtonResult newton = newton_solve(circuit, mna, ctx, &v_solved, options.newton);
+    result.stats.newton_iterations += static_cast<size_t>(newton.iterations);
+
+    bool accept = newton.converged;
+    double err = 0.0;
+    if (accept && !first_step) {
+      for (size_t i = 1; i <= n_nodes; ++i) {
+        err = std::max(err, std::fabs(v_solved[i] - v_guess[i]));
+      }
+      if (err > options.err_reject) accept = false;
+    }
+
+    if (!accept) {
+      result.stats.steps_rejected++;
+      h *= newton.converged ? 0.4 : 0.25;
+      if (h < options.dt_min) {
+        throw ConvergenceError(format(
+            "transient: timestep underflow at t=%s (newton %s, err=%.3g)",
+            format_time(t).c_str(), newton.converged ? "ok" : "diverged", err));
+      }
+      continue;
+    }
+
+    // Accept the step.
+    v_prev2 = v_prev;
+    v_prev = v_solved;
+    h_prev = h;
+    t = t_new;
+    first_step = false;
+    std::swap(state_prev, state_now);
+    result.stats.steps_accepted++;
+    result.waveforms.append(t, v_prev);
+
+    // Error-based step-size controller (order-1 heuristic on the predictor
+    // deviation): grow gently when comfortably under target.
+    double grow = 1.4;
+    if (err > 1e-12) {
+      grow = std::clamp(std::sqrt(options.err_target / err), 0.3, 1.6);
+    }
+    h = std::clamp(h * grow, options.dt_min, options.dt_max);
+  }
+
+  return result;
+}
+
+}  // namespace rotsv

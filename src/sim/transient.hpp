@@ -1,0 +1,56 @@
+// Transient analysis: variable-step integration (backward Euler or
+// trapezoidal) with a predictor-based local-error controller and
+// use-initial-conditions startup.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/newton.hpp"
+#include "sim/waveform.hpp"
+
+namespace rotsv {
+
+struct TransientOptions {
+  double t_stop = 0.0;       ///< end time [s]; must be > 0
+  double dt_initial = 0.5e-12;
+  double dt_min = 1e-16;
+  double dt_max = 50e-12;
+  Integrator method = Integrator::kTrapezoidal;
+
+  /// Predictor-corrector error control: a step is rejected when the solved
+  /// voltages deviate from the linear predictor by more than `err_reject`
+  /// (volts, inf-norm); the controller targets `err_target` per step.
+  double err_target = 0.01;
+  double err_reject = 0.05;
+
+  NewtonOptions newton;
+
+  /// Node initial conditions (UIC). Unlisted nodes start at 0 V.
+  std::vector<std::pair<NodeId, double>> initial_conditions;
+
+  /// Nodes to record; empty records every node.
+  std::vector<NodeId> record;
+
+  /// Abort the run (ConvergenceError) after this many accepted steps;
+  /// guards against runaway simulations of non-oscillating circuits.
+  size_t max_steps = 4'000'000;
+};
+
+struct TransientStats {
+  size_t steps_accepted = 0;
+  size_t steps_rejected = 0;
+  size_t newton_iterations = 0;
+};
+
+struct TransientResult {
+  WaveformSet waveforms;
+  TransientStats stats;
+};
+
+/// Runs the transient analysis. Throws ConvergenceError when the timestep
+/// controller underflows dt_min or Newton cannot converge at any step size.
+TransientResult run_transient(const Circuit& circuit, const TransientOptions& options);
+
+}  // namespace rotsv

@@ -1,0 +1,60 @@
+#include "sim/waveform.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+
+WaveformSet::WaveformSet(std::vector<NodeId> nodes)
+    : nodes_(std::move(nodes)), columns_(nodes_.size()) {}
+
+void WaveformSet::append(double time, const std::vector<double>& node_voltages) {
+  time_.push_back(time);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    columns_[i].push_back(node_voltages[static_cast<size_t>(nodes_[i].value)]);
+  }
+}
+
+size_t WaveformSet::column(NodeId node) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == node) return i;
+  }
+  throw ConfigError("WaveformSet: node was not recorded");
+}
+
+const std::vector<double>& WaveformSet::values(NodeId node) const {
+  return columns_[column(node)];
+}
+
+bool WaveformSet::has(NodeId node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+double WaveformSet::sample_at(NodeId node, double t) const {
+  const auto& v = values(node);
+  if (time_.empty()) throw ConfigError("WaveformSet: empty");
+  if (t <= time_.front()) return v.front();
+  if (t >= time_.back()) return v.back();
+  auto it = std::upper_bound(time_.begin(), time_.end(), t);
+  const size_t hi = static_cast<size_t>(it - time_.begin());
+  const size_t lo = hi - 1;
+  const double span = time_[hi] - time_[lo];
+  if (span <= 0.0) return v[hi];
+  const double f = (t - time_[lo]) / span;
+  return v[lo] + (v[hi] - v[lo]) * f;
+}
+
+void WaveformSet::write_csv(const std::string& path, const NodeTable& names) const {
+  std::vector<std::string> header{"time"};
+  for (NodeId n : nodes_) header.push_back(names.name(n));
+  CsvWriter csv(path, header);
+  for (size_t s = 0; s < time_.size(); ++s) {
+    std::vector<double> row{time_[s]};
+    for (const auto& col : columns_) row.push_back(col[s]);
+    csv.row(row);
+  }
+}
+
+}  // namespace rotsv

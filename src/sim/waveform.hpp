@@ -1,0 +1,45 @@
+// Waveform storage for transient results: a shared time axis plus one value
+// column per recorded node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/node.hpp"
+
+namespace rotsv {
+
+class WaveformSet {
+ public:
+  WaveformSet() = default;
+
+  /// Declares the recorded nodes (fixed for the lifetime of the set).
+  explicit WaveformSet(std::vector<NodeId> nodes);
+
+  /// Appends a sample: `node_voltages` is the full node-indexed vector.
+  void append(double time, const std::vector<double>& node_voltages);
+
+  const std::vector<double>& time() const { return time_; }
+
+  /// Value column of a recorded node; throws if the node was not recorded.
+  const std::vector<double>& values(NodeId node) const;
+
+  bool has(NodeId node) const;
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  size_t samples() const { return time_.size(); }
+
+  /// Linear interpolation of a recorded node at time t (clamped ends).
+  double sample_at(NodeId node, double t) const;
+
+  /// Writes all recorded columns to a CSV file (time first).
+  void write_csv(const std::string& path, const NodeTable& names) const;
+
+ private:
+  size_t column(NodeId node) const;
+
+  std::vector<NodeId> nodes_;
+  std::vector<double> time_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,85 @@
+#include "spice/lexer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+std::string strip_comment(const std::string& line) {
+  // '$' and ';' start trailing comments.
+  size_t pos = line.find_first_of("$;");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize_card(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  int paren_depth = 0;
+  for (char ch : line) {
+    if (ch == '(') {
+      ++paren_depth;
+      current += ch;
+    } else if (ch == ')') {
+      if (paren_depth > 0) --paren_depth;
+      current += ch;
+    } else if ((std::isspace(static_cast<unsigned char>(ch)) || ch == ',') &&
+               paren_depth == 0) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+LexedNetlist lex_spice(const std::string& text) {
+  LexedNetlist out;
+  std::vector<std::pair<int, std::string>> logical;  // (first line no, payload)
+
+  int line_no = 0;
+  bool first = true;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string raw = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+
+    if (first) {
+      out.title = trim(raw);
+      first = false;
+      continue;
+    }
+    std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line[0] == '*') continue;  // comment card
+    if (line[0] == '+') {
+      if (!logical.empty()) {
+        logical.back().second += " " + trim(line.substr(1));
+      }
+      continue;
+    }
+    logical.emplace_back(line_no, line);
+    if (start > text.size()) break;
+  }
+
+  for (auto& [no, payload] : logical) {
+    SpiceLine card;
+    card.number = no;
+    card.tokens = tokenize_card(payload);
+    if (!card.tokens.empty()) out.cards.push_back(std::move(card));
+  }
+  return out;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,31 @@
+// Line-oriented lexer for the SPICE-subset netlist format: strips comments,
+// joins '+' continuation lines, and tokenizes cards (including name=value
+// pairs and parenthesized argument lists like PULSE(...)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+struct SpiceLine {
+  int number = 0;              ///< 1-based line number of the card's first line
+  std::vector<std::string> tokens;
+};
+
+/// Splits netlist text into logical cards. The first line is the title and
+/// is returned separately. Comment lines ('*' prefix) and trailing '$' / ';'
+/// comments are removed; '+' lines are joined to the previous card.
+struct LexedNetlist {
+  std::string title;
+  std::vector<SpiceLine> cards;
+};
+
+LexedNetlist lex_spice(const std::string& text);
+
+/// Tokenizes one card payload: whitespace-separated, but 'name(' ... ')'
+/// groups (e.g. PULSE(0 1 1n)) become a single token including the parens,
+/// and '=' is kept attached as name=value tokens.
+std::vector<std::string> tokenize_card(const std::string& line);
+
+}  // namespace rotsv

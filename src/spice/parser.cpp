@@ -1,0 +1,321 @@
+#include "spice/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "models/ptm45.hpp"
+#include "spice/lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<SpiceLine> body;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexed_(lex_spice(text)) {}
+
+  ParsedNetlist run() {
+    ParsedNetlist out;
+    out.title = lexed_.title;
+    out.circuit = std::make_unique<Circuit>();
+    circuit_ = out.circuit.get();
+    models_ = &out.models;
+
+    collect_definitions();
+    for (const SpiceLine& card : top_level_) {
+      parse_card(card, /*prefix=*/"", /*port_map=*/{});
+    }
+    if (tran_.has_value()) out.tran = tran_;
+    return out;
+  }
+
+ private:
+  using PortMap = std::unordered_map<std::string, std::string>;
+
+  [[noreturn]] void fail(const SpiceLine& card, const std::string& what) const {
+    throw ParseError(what, card.number);
+  }
+
+  double number(const SpiceLine& card, const std::string& token) const {
+    double v = 0.0;
+    if (!parse_spice_number(token, &v)) fail(card, "bad number: " + token);
+    return v;
+  }
+
+  /// First pass: split cards into .subckt definitions, .model cards and
+  /// top-level elements; .model is processed immediately so models exist
+  /// before any M card at parse time.
+  void collect_definitions() {
+    size_t i = 0;
+    const auto& cards = lexed_.cards;
+    while (i < cards.size()) {
+      const SpiceLine& card = cards[i];
+      const std::string head = to_lower(card.tokens[0]);
+      if (head == ".subckt") {
+        if (card.tokens.size() < 2) fail(card, ".subckt needs a name");
+        SubcktDef def;
+        const std::string name = to_lower(card.tokens[1]);
+        for (size_t p = 2; p < card.tokens.size(); ++p) {
+          def.ports.push_back(to_lower(card.tokens[p]));
+        }
+        ++i;
+        int depth = 1;
+        while (i < cards.size()) {
+          const std::string inner = to_lower(cards[i].tokens[0]);
+          if (inner == ".subckt") ++depth;
+          if (inner == ".ends") {
+            --depth;
+            if (depth == 0) break;
+          }
+          def.body.push_back(cards[i]);
+          ++i;
+        }
+        if (i >= cards.size()) fail(card, ".subckt without matching .ends");
+        subckts_[name] = std::move(def);
+        ++i;  // past .ends
+      } else if (head == ".model") {
+        parse_model(card);
+        ++i;
+      } else {
+        top_level_.push_back(card);
+        ++i;
+      }
+    }
+  }
+
+  void parse_model(const SpiceLine& card) {
+    if (card.tokens.size() < 3) fail(card, ".model needs name and type");
+    auto model = std::make_unique<MosModelCard>();
+    const std::string type = to_lower(card.tokens[2]);
+    if (type == "nmos") {
+      *model = ptm45lp_nmos();
+      model->is_nmos = true;
+    } else if (type == "pmos") {
+      *model = ptm45lp_pmos();
+      model->is_nmos = false;
+    } else {
+      fail(card, "unsupported model type: " + card.tokens[2]);
+    }
+    model->name = to_lower(card.tokens[1]);
+    for (size_t t = 3; t < card.tokens.size(); ++t) {
+      const std::string& token = card.tokens[t];
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) fail(card, "expected name=value: " + token);
+      const std::string key = to_lower(token.substr(0, eq));
+      const double value = number(card, token.substr(eq + 1));
+      if (key == "vt0" || key == "vto") model->vt0 = value;
+      else if (key == "kp") model->kp = value;
+      else if (key == "theta") model->theta = value;
+      else if (key == "lambda") model->lambda = value;
+      else if (key == "n") model->n_slope = value;
+      else if (key == "ut") model->ut = value;
+      else if (key == "cox") model->cox_area = value;
+      else if (key == "cov") model->c_overlap = value;
+      else if (key == "cj") model->c_junction = value;
+      else if (key == "l") model->l_nom = value;
+      else fail(card, "unknown model parameter: " + key);
+    }
+    model_index_[model->name] = model.get();
+    models_->push_back(std::move(model));
+  }
+
+  const MosModelCard* find_model(const SpiceLine& card, const std::string& name) const {
+    const std::string key = to_lower(name);
+    auto it = model_index_.find(key);
+    if (it != model_index_.end()) return it->second;
+    if (key == "nmos45lp") return &ptm45lp_nmos();
+    if (key == "pmos45lp") return &ptm45lp_pmos();
+    fail(card, "unknown model: " + name);
+  }
+
+  /// Maps a netlist node name through the subcircuit port map / prefix.
+  NodeId map_node(const std::string& raw, const std::string& prefix,
+                  const PortMap& ports) {
+    const std::string key = to_lower(raw);
+    auto it = ports.find(key);
+    if (it != ports.end()) return circuit_->node(it->second);
+    if (key == "0" || key == "gnd" || key == "vss") return kGround;
+    return circuit_->node(prefix + raw);
+  }
+
+  SourceWaveform parse_waveform(const SpiceLine& card, size_t first_token) {
+    const auto& t = card.tokens;
+    if (first_token >= t.size()) fail(card, "source needs a value");
+    std::string spec = t[first_token];
+    std::string lower = to_lower(spec);
+    if (lower == "dc") {
+      if (first_token + 1 >= t.size()) fail(card, "DC needs a value");
+      return SourceWaveform::dc(number(card, t[first_token + 1]));
+    }
+    if (starts_with(lower, "pulse(") || starts_with(lower, "pwl(")) {
+      const size_t open = spec.find('(');
+      const size_t close = spec.rfind(')');
+      if (close == std::string::npos || close < open) fail(card, "unbalanced parens");
+      const std::string args_text = spec.substr(open + 1, close - open - 1);
+      std::vector<double> args;
+      for (const std::string& a : split(args_text, " \t")) {
+        args.push_back(number(card, a));
+      }
+      if (starts_with(lower, "pulse(")) {
+        if (args.size() < 6) fail(card, "PULSE needs v1 v2 td tr tf pw [per]");
+        const double per = args.size() > 6 ? args[6] : 0.0;
+        return SourceWaveform::pulse(args[0], args[1], args[2], args[3], args[4],
+                                     args[5], per);
+      }
+      if (args.size() < 2 || args.size() % 2 != 0) fail(card, "PWL needs t/v pairs");
+      std::vector<std::pair<double, double>> points;
+      for (size_t i = 0; i < args.size(); i += 2) {
+        points.emplace_back(args[i], args[i + 1]);
+      }
+      return SourceWaveform::pwl(std::move(points));
+    }
+    return SourceWaveform::dc(number(card, spec));
+  }
+
+  void parse_card(const SpiceLine& card, const std::string& prefix,
+                  const PortMap& ports) {
+    const std::string& head = card.tokens[0];
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(head[0])));
+    const std::string name = prefix + head;
+    const auto& t = card.tokens;
+
+    switch (kind) {
+      case 'r': {
+        if (t.size() < 4) fail(card, "R card: Rname n1 n2 value");
+        circuit_->add_resistor(name, map_node(t[1], prefix, ports),
+                               map_node(t[2], prefix, ports), number(card, t[3]));
+        return;
+      }
+      case 'c': {
+        if (t.size() < 4) fail(card, "C card: Cname n1 n2 value");
+        circuit_->add_capacitor(name, map_node(t[1], prefix, ports),
+                                map_node(t[2], prefix, ports), number(card, t[3]));
+        return;
+      }
+      case 'v': {
+        if (t.size() < 4) fail(card, "V card: Vname n+ n- value");
+        circuit_->add_voltage_source(name, map_node(t[1], prefix, ports),
+                                     map_node(t[2], prefix, ports),
+                                     parse_waveform(card, 3));
+        return;
+      }
+      case 'i': {
+        if (t.size() < 4) fail(card, "I card: Iname n+ n- value");
+        circuit_->add_current_source(name, map_node(t[1], prefix, ports),
+                                     map_node(t[2], prefix, ports),
+                                     parse_waveform(card, 3));
+        return;
+      }
+      case 'm': {
+        if (t.size() < 6) fail(card, "M card: Mname d g s b model [w= l=]");
+        const MosModelCard* model = find_model(card, t[5]);
+        MosInstanceParams params;
+        params.w = model->is_nmos ? kX1WidthNmos : kX1WidthPmos;
+        params.l = model->l_nom;
+        for (size_t i = 6; i < t.size(); ++i) {
+          const size_t eq = t[i].find('=');
+          if (eq == std::string::npos) fail(card, "expected name=value: " + t[i]);
+          const std::string key = to_lower(t[i].substr(0, eq));
+          const double value = number(card, t[i].substr(eq + 1));
+          if (key == "w") params.w = value;
+          else if (key == "l") params.l = value;
+          else if (key == "m") params.w *= value;  // multiplier folds into W
+          else fail(card, "unknown instance parameter: " + key);
+        }
+        circuit_->add_mosfet(name, map_node(t[1], prefix, ports),
+                             map_node(t[2], prefix, ports),
+                             map_node(t[3], prefix, ports),
+                             map_node(t[4], prefix, ports), model, params);
+        return;
+      }
+      case 'x': {
+        if (t.size() < 3) fail(card, "X card: Xname nodes... subckt");
+        const std::string sub_name = to_lower(t.back());
+        auto it = subckts_.find(sub_name);
+        if (it == subckts_.end()) fail(card, "unknown subcircuit: " + t.back());
+        const SubcktDef& def = it->second;
+        if (t.size() - 2 != def.ports.size()) {
+          fail(card, format("subcircuit %s expects %zu ports, got %zu",
+                            sub_name.c_str(), def.ports.size(), t.size() - 2));
+        }
+        PortMap inner_ports;
+        for (size_t p = 0; p < def.ports.size(); ++p) {
+          // Resolve the actual node name in the *outer* scope.
+          const NodeId outer = map_node(t[p + 1], prefix, ports);
+          inner_ports[def.ports[p]] = circuit_->nodes().name(outer);
+        }
+        const std::string inner_prefix = prefix + head + ".";
+        for (const SpiceLine& inner : def.body) {
+          parse_card(inner, inner_prefix, inner_ports);
+        }
+        return;
+      }
+      case '.': {
+        const std::string directive = to_lower(head);
+        if (directive == ".tran") {
+          if (t.size() < 3) fail(card, ".tran tstep tstop");
+          // Preserve initial conditions collected from earlier .ic cards.
+          if (!tran_.has_value()) tran_ = TransientOptions{};
+          tran_->dt_max = std::max(number(card, t[1]), 1e-15);
+          tran_->t_stop = number(card, t[2]);
+          return;
+        }
+        if (directive == ".ic") {
+          if (!tran_.has_value()) tran_ = TransientOptions{};
+          for (size_t i = 1; i < t.size(); ++i) {
+            // v(node)=value
+            const std::string token = to_lower(t[i]);
+            const size_t open = token.find('(');
+            const size_t close = token.find(')');
+            const size_t eq = token.find('=');
+            if (open == std::string::npos || close == std::string::npos ||
+                eq == std::string::npos || eq < close) {
+              fail(card, ".ic expects v(node)=value");
+            }
+            const std::string node_name = t[i].substr(open + 1, close - open - 1);
+            const double value = number(card, t[i].substr(eq + 1));
+            tran_->initial_conditions.emplace_back(
+                map_node(node_name, prefix, ports), value);
+          }
+          return;
+        }
+        if (directive == ".end" || directive == ".ends" || directive == ".option" ||
+            directive == ".options") {
+          return;  // ignored
+        }
+        fail(card, "unsupported directive: " + head);
+      }
+      default:
+        fail(card, format("unsupported element '%c'", kind));
+    }
+  }
+
+  LexedNetlist lexed_;
+  Circuit* circuit_ = nullptr;
+  std::vector<std::unique_ptr<MosModelCard>>* models_ = nullptr;
+  std::unordered_map<std::string, const MosModelCard*> model_index_;
+  std::unordered_map<std::string, SubcktDef> subckts_;
+  std::vector<SpiceLine> top_level_;
+  std::optional<TransientOptions> tran_;
+};
+
+}  // namespace
+
+ParsedNetlist parse_spice(const std::string& text) { return Parser(text).run(); }
+
+ParsedNetlist parse_spice_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open netlist file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_spice(ss.str());
+}
+
+}  // namespace rotsv

@@ -1,0 +1,44 @@
+// SPICE-subset netlist parser producing a simulatable Circuit.
+//
+// Supported cards:
+//   R<name> n1 n2 value
+//   C<name> n1 n2 value
+//   V<name> n+ n- [DC] value | PULSE(v1 v2 td tr tf pw [per]) | PWL(t1 v1 ...)
+//   I<name> n+ n- [DC] value
+//   M<name> d g s b model [W=..] [L=..]
+//   X<name> node... subckt            (flattened, names prefixed)
+//   .MODEL <name> NMOS|PMOS [vt0= kp= theta= lambda= n= ut= cox= cov= cj=]
+//   .SUBCKT <name> ports... / .ENDS
+//   .TRAN tstep tstop
+//   .IC V(node)=value ...
+//   .END
+// The builtin models "nmos45lp" and "pmos45lp" are always available.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/transient.hpp"
+
+namespace rotsv {
+
+struct ParsedNetlist {
+  std::string title;
+  std::unique_ptr<Circuit> circuit;
+  /// Model cards defined in the netlist; Mosfet devices point into these,
+  /// so they must live as long as the circuit.
+  std::vector<std::unique_ptr<MosModelCard>> models;
+  /// Transient request from .TRAN (t_stop and dt_max filled in).
+  std::optional<TransientOptions> tran;
+};
+
+/// Parses netlist text. Throws ParseError with line information on errors.
+ParsedNetlist parse_spice(const std::string& text);
+
+/// Reads and parses a netlist file; throws rotsv::Error if unreadable.
+ParsedNetlist parse_spice_file(const std::string& path);
+
+}  // namespace rotsv

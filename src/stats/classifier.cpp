@@ -1,0 +1,43 @@
+#include "stats/classifier.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+const char* verdict_name(TsvVerdict verdict) {
+  switch (verdict) {
+    case TsvVerdict::kPass: return "pass";
+    case TsvVerdict::kResistiveOpen: return "resistive-open";
+    case TsvVerdict::kLeakage: return "leakage";
+    case TsvVerdict::kStuck: return "stuck";
+  }
+  return "?";
+}
+
+DeltaTClassifier DeltaTClassifier::from_population(const std::vector<double>& fault_free,
+                                                   double k_sigma) {
+  require(k_sigma > 0.0, "classifier: k_sigma must be > 0");
+  const Summary s = summarize(fault_free);
+  DeltaTClassifier c;
+  c.lo_ = std::min(s.mean - k_sigma * s.stddev, s.min);
+  c.hi_ = std::max(s.mean + k_sigma * s.stddev, s.max);
+  return c;
+}
+
+DeltaTClassifier DeltaTClassifier::from_band(double lo, double hi) {
+  require(lo <= hi, "classifier: lo must be <= hi");
+  DeltaTClassifier c;
+  c.lo_ = lo;
+  c.hi_ = hi;
+  return c;
+}
+
+TsvVerdict DeltaTClassifier::classify(double delta_t) const {
+  if (delta_t < lo_) return TsvVerdict::kResistiveOpen;
+  if (delta_t > hi_) return TsvVerdict::kLeakage;
+  return TsvVerdict::kPass;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,46 @@
+// Fault classification from measured dT values.
+//
+// The tester calibrates a fault-free dT band per voltage (from a Monte-Carlo
+// population or a golden measurement) and classifies:
+//   dT below the band  -> resistive open (opens reduce the period)
+//   dT above the band  -> leakage        (leakage increases the period)
+//   no oscillation     -> stuck (strong leakage)
+//   inside the band    -> pass
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace rotsv {
+
+enum class TsvVerdict { kPass, kResistiveOpen, kLeakage, kStuck };
+
+const char* verdict_name(TsvVerdict verdict);
+
+class DeltaTClassifier {
+ public:
+  DeltaTClassifier() = default;
+
+  /// Builds the pass band from a fault-free calibration population:
+  /// [mean - k*sigma, mean + k*sigma], widened to cover the sample extremes
+  /// so the calibration set itself always passes.
+  static DeltaTClassifier from_population(const std::vector<double>& fault_free,
+                                          double k_sigma);
+
+  /// Builds the band directly from explicit limits.
+  static DeltaTClassifier from_band(double lo, double hi);
+
+  TsvVerdict classify(double delta_t) const;
+  TsvVerdict classify_stuck() const { return TsvVerdict::kStuck; }
+
+  double lower() const { return lo_; }
+  double upper() const { return hi_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,71 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+std::string Summary::to_string() const {
+  return format("n=%zu mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g", count, mean,
+                stddev, min, median, max);
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  require(!samples.empty(), "summarize: empty sample");
+  Summary s;
+  s.count = samples.size();
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0.0;
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  require(!samples.empty(), "percentile: empty sample");
+  require(p >= 0.0 && p <= 100.0, "percentile: p out of range");
+  std::sort(samples.begin(), samples.end());
+  const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double f = idx - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * f;
+}
+
+std::vector<HistogramBin> histogram(const std::vector<double>& samples, int bins) {
+  require(!samples.empty(), "histogram: empty sample");
+  require(bins >= 1, "histogram: bins must be >= 1");
+  const auto [mn_it, mx_it] = std::minmax_element(samples.begin(), samples.end());
+  const double lo = *mn_it;
+  double width = (*mx_it - lo) / bins;
+  if (width <= 0.0) width = 1.0;
+  std::vector<HistogramBin> out(static_cast<size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<size_t>(b)].lo = lo + b * width;
+    out[static_cast<size_t>(b)].hi = lo + (b + 1) * width;
+  }
+  for (double v : samples) {
+    int b = static_cast<int>((v - lo) / width);
+    b = std::clamp(b, 0, bins - 1);
+    out[static_cast<size_t>(b)].count++;
+  }
+  return out;
+}
+
+}  // namespace rotsv

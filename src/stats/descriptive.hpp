@@ -1,0 +1,35 @@
+// Descriptive statistics for Monte-Carlo populations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes summary statistics; throws ConfigError on an empty sample.
+Summary summarize(const std::vector<double>& samples);
+
+/// p-th percentile (0..100) by linear interpolation of the sorted sample.
+double percentile(std::vector<double> samples, double p);
+
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t count = 0;
+};
+
+/// Equal-width histogram over [min, max] of the sample.
+std::vector<HistogramBin> histogram(const std::vector<double>& samples, int bins);
+
+}  // namespace rotsv

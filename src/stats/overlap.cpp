@@ -1,0 +1,54 @@
+#include "stats/overlap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+double range_overlap(const std::vector<double>& a, const std::vector<double>& b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  const double lo = std::max(sa.min, sb.min);
+  const double hi = std::min(sa.max, sb.max);
+  if (hi <= lo) return 0.0;
+  const double smaller = std::min(sa.max - sa.min, sb.max - sb.min);
+  if (smaller <= 0.0) return 1.0;
+  return std::min((hi - lo) / smaller, 1.0);
+}
+
+double gaussian_overlap(const std::vector<double>& a, const std::vector<double>& b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  // Degenerate (zero-variance) populations: overlap 1 if equal means.
+  const double va = std::max(sa.stddev * sa.stddev, 1e-30);
+  const double vb = std::max(sb.stddev * sb.stddev, 1e-30);
+  const double dm = sa.mean - sb.mean;
+  // Bhattacharyya distance between two normals.
+  const double db =
+      0.25 * dm * dm / (va + vb) + 0.5 * std::log((va + vb) / (2.0 * std::sqrt(va * vb)));
+  return std::exp(-db);
+}
+
+double threshold_error_rate(const std::vector<double>& a, const std::vector<double>& b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  const double threshold = 0.5 * (sa.mean + sb.mean);
+  // `a` is the low-mean population by convention; normalize orientation.
+  const bool a_low = sa.mean <= sb.mean;
+  size_t wrong = 0;
+  for (double v : a) {
+    if ((a_low && v > threshold) || (!a_low && v < threshold)) ++wrong;
+  }
+  for (double v : b) {
+    if ((a_low && v < threshold) || (!a_low && v > threshold)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(a.size() + b.size());
+}
+
+bool fully_separated(const std::vector<double>& a, const std::vector<double>& b) {
+  return range_overlap(a, b) == 0.0;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,30 @@
+// Spread-overlap metrics for the paper's aliasing analysis (Figs. 7, 9, 10):
+// how much do the fault-free and faulty Monte-Carlo populations of dT
+// overlap, i.e. how likely is a misclassification?
+#pragma once
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace rotsv {
+
+/// Fractional overlap of the [min,max] ranges of two samples: overlap length
+/// divided by the smaller range's length. 0 = fully separated (detectable),
+/// 1 = one range inside the other (indistinguishable by range).
+double range_overlap(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Bhattacharyya coefficient of Gaussian fits to the two samples (0 =
+/// disjoint, 1 = identical). A smooth aliasing metric that does not depend
+/// on sample extremes.
+double gaussian_overlap(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Misclassification rate of the optimal midpoint threshold between the two
+/// sample means: the fraction of points on the wrong side.
+double threshold_error_rate(const std::vector<double>& a, const std::vector<double>& b);
+
+/// True when the two samples are fully separated (no range overlap) -- the
+/// paper's criterion for "no aliasing".
+bool fully_separated(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace rotsv

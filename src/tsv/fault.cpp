@@ -1,0 +1,41 @@
+#include "tsv/fault.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+TsvFault TsvFault::none() { return TsvFault{}; }
+
+TsvFault TsvFault::open(double r_ohm, double position_x) {
+  require(r_ohm >= 0.0, "open fault: R_O must be >= 0");
+  require(position_x >= 0.0 && position_x <= 1.0, "open fault: x must be in [0,1]");
+  TsvFault f;
+  f.type = TsvFaultType::kResistiveOpen;
+  f.resistance_ohm = r_ohm;
+  f.position = position_x;
+  return f;
+}
+
+TsvFault TsvFault::leakage(double r_ohm) {
+  require(r_ohm > 0.0, "leakage fault: R_L must be > 0");
+  TsvFault f;
+  f.type = TsvFaultType::kLeakage;
+  f.resistance_ohm = r_ohm;
+  f.position = 0.0;
+  return f;
+}
+
+std::string TsvFault::describe() const {
+  switch (type) {
+    case TsvFaultType::kNone:
+      return "fault-free";
+    case TsvFaultType::kResistiveOpen:
+      return format("open R_O=%.4g Ohm at x=%.2f", resistance_ohm, position);
+    case TsvFaultType::kLeakage:
+      return format("leakage R_L=%.4g Ohm", resistance_ohm);
+  }
+  return "?";
+}
+
+}  // namespace rotsv

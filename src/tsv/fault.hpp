@@ -1,0 +1,28 @@
+// TSV fault descriptors: resistive opens (micro-voids) and leakage
+// (pinholes), the two fault types the paper targets.
+#pragma once
+
+#include <string>
+
+namespace rotsv {
+
+enum class TsvFaultType {
+  kNone,
+  kResistiveOpen,  ///< micro-void: series R_O at normalized position x
+  kLeakage,        ///< pinhole: R_L from the conductor to the substrate
+};
+
+struct TsvFault {
+  TsvFaultType type = TsvFaultType::kNone;
+  double resistance_ohm = 0.0;  ///< R_O or R_L
+  double position = 0.5;        ///< x in [0, 1]; 0 = front (driver side)
+
+  static TsvFault none();
+  static TsvFault open(double r_ohm, double position_x);
+  static TsvFault leakage(double r_ohm);
+
+  bool is_fault() const { return type != TsvFaultType::kNone; }
+  std::string describe() const;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,104 @@
+#include "tsv/tsv_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+TsvTechnology TsvTechnology::paper() { return TsvTechnology{}; }
+
+namespace {
+
+/// Builds a lumped (single-capacitor) TSV with optional fault.
+TsvInstance attach_lumped(Circuit& c, const std::string& name, NodeId front,
+                          const TsvTechnology& tech, const TsvFault& fault) {
+  TsvInstance inst;
+  inst.front = front;
+  switch (fault.type) {
+    case TsvFaultType::kNone:
+      c.add_capacitor(name + ".c", front, kGround, tech.capacitance_f);
+      break;
+    case TsvFaultType::kResistiveOpen: {
+      const double x = fault.position;
+      const double c_top = x * tech.capacitance_f;
+      const double c_bot = (1.0 - x) * tech.capacitance_f;
+      if (c_top > 0.0) c.add_capacitor(name + ".ct", front, kGround, c_top);
+      if (c_bot > 0.0) {
+        if (fault.resistance_ohm > 0.0) {
+          const NodeId mid = c.node(name + ".mid");
+          inst.internal.push_back(mid);
+          c.add_resistor(name + ".ro", front, mid, fault.resistance_ohm);
+          c.add_capacitor(name + ".cb", mid, kGround, c_bot);
+        } else {
+          // R_O == 0 degenerates to the fault-free lumped capacitor.
+          c.add_capacitor(name + ".cb", front, kGround, c_bot);
+        }
+      }
+      break;
+    }
+    case TsvFaultType::kLeakage:
+      c.add_capacitor(name + ".c", front, kGround, tech.capacitance_f);
+      c.add_resistor(name + ".rl", front, kGround, fault.resistance_ohm);
+      break;
+  }
+  return inst;
+}
+
+}  // namespace
+
+TsvInstance attach_tsv(Circuit& circuit, const std::string& name, NodeId front,
+                       const TsvTechnology& tech, const TsvFault& fault) {
+  require(tech.capacitance_f > 0.0, "TSV capacitance must be > 0");
+  require(tech.segments >= 1, "TSV segments must be >= 1");
+  if (tech.segments == 1) return attach_lumped(circuit, name, front, tech, fault);
+
+  // RC ladder: `segments` sections of (R/n in series, C/n to ground).
+  TsvInstance inst;
+  inst.front = front;
+  const int n = tech.segments;
+  const double r_seg = tech.resistance_ohm / n;
+  const double c_seg = tech.capacitance_f / n;
+
+  // The open fault is inserted after the segment boundary nearest to x; the
+  // leakage resistor attaches at the boundary nearest to x.
+  const int open_after =
+      fault.type == TsvFaultType::kResistiveOpen
+          ? std::clamp(static_cast<int>(std::lround(fault.position * n)), 0, n)
+          : -1;
+  const int leak_at =
+      fault.type == TsvFaultType::kLeakage
+          ? std::clamp(static_cast<int>(std::lround(fault.position * n)), 0, n - 1)
+          : -1;
+
+  NodeId prev = front;
+  for (int s = 0; s < n; ++s) {
+    if (s == open_after && fault.resistance_ohm > 0.0) {
+      const NodeId mid = circuit.node(format("%s.open%d", name.c_str(), s));
+      inst.internal.push_back(mid);
+      circuit.add_resistor(format("%s.ro", name.c_str()), prev, mid,
+                           fault.resistance_ohm);
+      prev = mid;
+    }
+    if (s == leak_at) {
+      circuit.add_resistor(format("%s.rl", name.c_str()), prev, kGround,
+                           fault.resistance_ohm);
+    }
+    const NodeId next = circuit.node(format("%s.n%d", name.c_str(), s));
+    inst.internal.push_back(next);
+    if (r_seg > 0.0) {
+      circuit.add_resistor(format("%s.r%d", name.c_str(), s), prev, next, r_seg);
+    } else {
+      // Zero-resistance technology: collapse by a tiny resistor to keep the
+      // node distinct but electrically transparent.
+      circuit.add_resistor(format("%s.r%d", name.c_str(), s), prev, next, 1e-4);
+    }
+    circuit.add_capacitor(format("%s.c%d", name.c_str(), s), next, kGround, c_seg);
+    prev = next;
+  }
+  return inst;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,45 @@
+// Electrical TSV models (paper Fig. 2).
+//
+// A pre-bond TSV is an open-ended conductor buried in substrate: electrically
+// a distributed RC to ground. The paper uses R = 0.1 Ohm and C = 59 fF and
+// shows (we re-verify in bench/fig02) that the distributed model is
+// indistinguishable from a single lumped capacitor, because the TSV
+// resistance is negligible against the driver output resistance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "tsv/fault.hpp"
+
+namespace rotsv {
+
+struct TsvTechnology {
+  double resistance_ohm = 0.1;     ///< total TSV resistance [Ohm]
+  double capacitance_f = 59e-15;   ///< total TSV-to-substrate capacitance [F]
+  int segments = 1;                ///< RC ladder segments (1 = lumped C)
+
+  /// The paper's reference technology (10 um x 60 um via, [20]).
+  static TsvTechnology paper();
+};
+
+/// Result of stamping one TSV into a circuit.
+struct TsvInstance {
+  NodeId front;                    ///< the net the I/O cell drives
+  std::vector<NodeId> internal;    ///< ladder nodes (empty when lumped, no fault)
+};
+
+/// Stamps a TSV (with an optional fault) onto the existing node `front`.
+///
+/// Fault handling:
+///  * resistive open at position x: the conductor splits into a top part
+///    (capacitance x*C, still on `front`) and a bottom part ((1-x)*C) behind
+///    the open resistance R_O;
+///  * leakage: R_L in parallel with the TSV capacitance to ground.
+/// With `segments > 1` the same topology is built as an RC ladder and the
+/// fault is inserted at the nearest segment boundary.
+TsvInstance attach_tsv(Circuit& circuit, const std::string& name, NodeId front,
+                       const TsvTechnology& tech, const TsvFault& fault);
+
+}  // namespace rotsv

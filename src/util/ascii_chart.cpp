@@ -1,0 +1,83 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+bool finite(double v) { return std::isfinite(v); }
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  const int w = std::max(options.width, 10);
+  const int h = std::max(options.height, 4);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  auto tx = [&](double x) { return options.log_x ? std::log10(x) : x; };
+
+  for (const Series& s : series) {
+    for (size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!finite(s.x[i]) || !finite(s.y[i])) continue;
+      if (options.log_x && s.x[i] <= 0) continue;
+      xmin = std::min(xmin, tx(s.x[i]));
+      xmax = std::max(xmax, tx(s.x[i]));
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  if (!(xmin <= xmax)) return "(no data)";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) {
+    ymax += 0.5;
+    ymin -= 0.5;
+  }
+
+  std::vector<std::string> grid(static_cast<size_t>(h), std::string(static_cast<size_t>(w), ' '));
+  for (const Series& s : series) {
+    for (size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!finite(s.x[i]) || !finite(s.y[i])) continue;
+      if (options.log_x && s.x[i] <= 0) continue;
+      int col = static_cast<int>(std::lround((tx(s.x[i]) - xmin) / (xmax - xmin) * (w - 1)));
+      int row = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<size_t>(h - 1 - row)][static_cast<size_t>(col)] = s.glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += "  " + options.title + "\n";
+  for (int r = 0; r < h; ++r) {
+    double yv = ymax - (ymax - ymin) * r / (h - 1);
+    out += format("%11.4g |", yv);
+    out += grid[static_cast<size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(12, ' ') + '+' + std::string(static_cast<size_t>(w), '-') + '\n';
+  const double x0 = options.log_x ? std::pow(10.0, xmin) : xmin;
+  const double x1 = options.log_x ? std::pow(10.0, xmax) : xmax;
+  std::string axis = format("%.4g", x0);
+  std::string right = format("%.4g", x1);
+  std::string xline = std::string(13, ' ') + axis;
+  int pad = w - static_cast<int>(axis.size()) - static_cast<int>(right.size());
+  xline += std::string(static_cast<size_t>(std::max(pad, 1)), ' ') + right;
+  if (!options.x_label.empty())
+    xline += "   [" + options.x_label + (options.log_x ? ", log" : "") + "]";
+  out += xline + '\n';
+  for (const Series& s : series) {
+    out += format("    %c = %s\n", s.glyph, s.label.c_str());
+  }
+  if (!options.y_label.empty()) out += "    y: " + options.y_label + '\n';
+  while (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,32 @@
+// Terminal chart rendering so each bench binary can show the reproduced
+// figure inline (x/y scatter and line series, multiple overlaid series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+/// One plottable series: x/y pairs plus the glyph used to draw its points.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+struct ChartOptions {
+  int width = 72;    ///< plot-area columns
+  int height = 20;   ///< plot-area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;  ///< log10 x axis (x must be > 0)
+};
+
+/// Renders overlaid series into a multi-line string (no trailing newline).
+/// Points outside every series' joint bounding box never occur by
+/// construction; NaN/inf points are skipped.
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options);
+
+}  // namespace rotsv

@@ -1,0 +1,38 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_)
+    throw Error(format("CSV row has %zu fields, header has %zu", values.size(), columns_));
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << format("%.9g", values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_)
+    throw Error(format("CSV row has %zu fields, header has %zu", fields.size(), columns_));
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace rotsv

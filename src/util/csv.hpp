@@ -1,0 +1,33 @@
+// Minimal CSV writer used by benches and examples to dump series that can be
+// re-plotted externally (the paper's figures are reproduced both as CSV and
+// as inline ASCII charts).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws rotsv::Error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; the field count must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Appends one row of preformatted fields.
+  void row_strings(const std::vector<std::string>& fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace rotsv

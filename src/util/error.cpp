@@ -1,0 +1,9 @@
+#include "util/error.hpp"
+
+namespace rotsv {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw ConfigError(what);
+}
+
+}  // namespace rotsv

@@ -1,0 +1,52 @@
+// Error types shared across the rotsv library.
+//
+// All recoverable failures are reported via exceptions derived from
+// rotsv::Error so that callers can catch one base type at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rotsv {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed netlist construction (duplicate names, dangling nodes, ...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure in the simulation engine (singular matrix,
+/// Newton divergence, step-size underflow, ...).
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// Syntax or semantic error while parsing a SPICE-subset netlist file.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Invalid argument / configuration passed to a public API.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ConfigError with `what` unless `cond` holds.
+void require(bool cond, const std::string& what);
+
+}  // namespace rotsv

@@ -1,0 +1,45 @@
+// Deterministic random number generation for Monte-Carlo runs.
+//
+// A small xoshiro256++ implementation is used instead of std::mt19937 so that
+// streams are cheap to fork: every Monte-Carlo sample derives its own
+// independent stream from (seed, sample_index), making runs reproducible
+// regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace rotsv {
+
+class Rng {
+ public:
+  /// Seeds the stream from a 64-bit seed via splitmix64 expansion.
+  explicit Rng(uint64_t seed);
+
+  /// Independent stream for a (seed, stream_id) pair.
+  static Rng fork(uint64_t seed, uint64_t stream_id);
+
+  /// Next raw 64 random bits.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal variate (Box-Muller, cached spare).
+  double normal();
+
+  /// Normal variate with the given mean / standard deviation.
+  double normal(double mean, double sigma);
+
+  /// Uniform integer in [0, n).
+  uint64_t below(uint64_t n);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace rotsv

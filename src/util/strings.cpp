@@ -1,0 +1,113 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rotsv {
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, const std::string& delims) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t j = s.find_first_of(delims, i);
+    if (j == std::string::npos) j = s.size();
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<size_t>(n));
+  }
+  va_end(args);
+  return out;
+}
+
+bool parse_spice_number(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin) return false;
+
+  std::string suffix = to_lower(trim(std::string(end)));
+  // Strip trailing unit letters after a recognized scale factor, as SPICE
+  // does ("10pf" == 10p). "meg"/"mil" must be matched before "m".
+  double scale = 1.0;
+  if (suffix.empty()) {
+    scale = 1.0;
+  } else if (starts_with(suffix, "meg")) {
+    scale = 1e6;
+  } else if (starts_with(suffix, "mil")) {
+    scale = 25.4e-6;
+  } else {
+    switch (suffix[0]) {
+      case 't': scale = 1e12; break;
+      case 'g': scale = 1e9; break;
+      case 'k': scale = 1e3; break;
+      case 'm': scale = 1e-3; break;
+      case 'u': scale = 1e-6; break;
+      case 'n': scale = 1e-9; break;
+      case 'p': scale = 1e-12; break;
+      case 'f': scale = 1e-15; break;
+      case 'a': scale = 1e-18; break;
+      default: return false;
+    }
+  }
+  *out = value * scale;
+  return true;
+}
+
+std::string format_time(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0 || a == 0.0) return format("%.4gs", seconds);
+  if (a >= 1e-3) return format("%.4gms", seconds * 1e3);
+  if (a >= 1e-6) return format("%.4gus", seconds * 1e6);
+  if (a >= 1e-9) return format("%.4gns", seconds * 1e9);
+  if (a >= 1e-12) return format("%.4gps", seconds * 1e12);
+  return format("%.4gfs", seconds * 1e15);
+}
+
+}  // namespace rotsv

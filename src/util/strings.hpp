@@ -1,0 +1,35 @@
+// Small string helpers used by the parser and report writers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+/// Returns `s` with leading/trailing whitespace removed.
+std::string trim(const std::string& s);
+
+/// Lower-cases ASCII characters of `s`.
+std::string to_lower(const std::string& s);
+
+/// Splits `s` on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(const std::string& s, const std::string& delims = " \t");
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Case-insensitive string equality (ASCII).
+bool iequals(const std::string& a, const std::string& b);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a SPICE-style number with engineering suffix:
+/// "1.5k" -> 1500, "59f" -> 59e-15, "10meg" -> 1e7, "2u" -> 2e-6.
+/// Throws ParseError-free: returns false on failure instead.
+bool parse_spice_number(const std::string& token, double* out);
+
+/// Formats seconds with an adaptive engineering unit, e.g. "2.50ns".
+std::string format_time(double seconds);
+
+}  // namespace rotsv

@@ -1,0 +1,48 @@
+// Fixed-size thread pool used to parallelize Monte-Carlo samples.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rotsv {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means std::thread::hardware_concurrency()).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs must not throw; wrap bodies that can.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Exceptions thrown by `fn` are captured; the first one is rethrown.
+  static void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                           size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rotsv

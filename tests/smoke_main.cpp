@@ -1,0 +1,150 @@
+// Temporary calibration / smoke harness (replaced by gtest suites).
+#include <cstdio>
+
+#include "cells/gates.hpp"
+#include "ro/ring_oscillator.hpp"
+#include "ro/ro_runner.hpp"
+#include "sim/measure.hpp"
+#include "sim/newton.hpp"
+#include "sim/transient.hpp"
+#include "util/strings.hpp"
+
+using namespace rotsv;
+
+static void rc_check() {
+  Circuit c;
+  NodeId in = c.node("in");
+  NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::step(0.0, 1.0, 1e-9, 1e-12));
+  c.add_resistor("r", in, out, 1000.0);
+  c.add_capacitor("cl", out, kGround, 1e-12);  // tau = 1ns
+  TransientOptions t;
+  t.t_stop = 6e-9;
+  t.dt_max = 50e-12;
+  TransientResult r = run_transient(c, t);
+  const double v1 = r.waveforms.sample_at(out, 2e-9);   // 1 tau after step
+  const double v2 = r.waveforms.sample_at(out, 4e-9);   // 3 tau
+  std::printf("RC: v(tau)=%.4f (want 0.6321)  v(3tau)=%.4f (want 0.9502)  steps=%zu\n",
+              v1, v2, r.stats.steps_accepted);
+}
+
+static void inverter_dc() {
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  NodeId in = c.node("in");
+  NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.55));
+  make_inverter(ctx, "inv", in, out, 1);
+  for (double vin : {0.0, 0.3, 0.55, 0.8, 1.1}) {
+    dynamic_cast<VoltageSource*>(c.find_device("vin"))->set_waveform(SourceWaveform::dc(vin));
+    Vector v = dc_operating_point(c);
+    std::printf("INV: vin=%.2f -> vout=%.4f\n", vin, v[(size_t)out.value]);
+  }
+}
+
+static void ion_check() {
+  // NMOS X1 drain current at Vgs=Vds=1.1.
+  MosEval e = ekv_evaluate(ptm45lp_nmos(), nmos_params(1), 1.1, 1.1, 0.0);
+  MosEval ep = ekv_evaluate(ptm45lp_pmos(), pmos_params(1), 1.1, 1.1, 0.0);
+  std::printf("Ion: NMOS X1 = %.1f uA, PMOS X1 = %.1f uA (LP class ~100-250uA)\n",
+              e.id * 1e6, ep.id * 1e6);
+  MosEval eoff = ekv_evaluate(ptm45lp_nmos(), nmos_params(1), 0.0, 1.1, 0.0);
+  std::printf("Ioff: NMOS X1 = %.3g nA\n", eoff.id * 1e9);
+}
+
+static void buffer_delay() {
+  // X4 buffer driving the paper's 59 fF TSV, step input.
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  NodeId in = c.node("in");
+  NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround,
+                       SourceWaveform::pulse(0.0, 1.1, 0.2e-9, 20e-12, 20e-12, 1.5e-9, 3e-9));
+  make_buffer(ctx, "buf", in, out, 4);
+  c.add_capacitor("ctsv", out, kGround, 59e-15);
+  TransientOptions t;
+  t.t_stop = 3.2e-9;
+  TransientResult r = run_transient(c, t);
+  const double d = propagation_delay(r.waveforms, in, out, 0.55, Edge::kRising, Edge::kRising);
+  std::printf("BUF_X4 + 59fF delay (rise) = %s, steps=%zu\n", format_time(d).c_str(),
+              r.stats.steps_accepted);
+}
+
+static void ring_check(double vdd) {
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 5;
+  cfg.vdd = vdd;
+  RingOscillator ro(cfg);
+  ro.enable_first(1);
+  RoRunOptions opt;
+  RoMeasurement m = measure_period(ro, opt);
+  std::printf("RO N=5 vdd=%.2f: osc=%d period=%s stddev=%s cycles=%d steps=%zu\n", vdd,
+              m.oscillating, format_time(m.period).c_str(),
+              format_time(m.period_stddev).c_str(), m.cycles, m.stats.steps_accepted);
+}
+
+static void delta_t_check() {
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 5;
+  cfg.faults = {TsvFault::none()};
+  RingOscillator ff(cfg);
+  DeltaTResult d0 = measure_delta_t(ff, 1);
+  std::printf("dT fault-free: T1=%s T2=%s dT=%s\n", format_time(d0.t1).c_str(),
+              format_time(d0.t2).c_str(), format_time(d0.delta_t).c_str());
+
+  cfg.faults = {TsvFault::open(3000.0, 0.5)};
+  RingOscillator fo(cfg);
+  DeltaTResult d1 = measure_delta_t(fo, 1);
+  std::printf("dT 3k open  : T1=%s T2=%s dT=%s\n", format_time(d1.t1).c_str(),
+              format_time(d1.t2).c_str(), format_time(d1.delta_t).c_str());
+
+  cfg.faults = {TsvFault::leakage(3000.0)};
+  RingOscillator fl(cfg);
+  DeltaTResult d2 = measure_delta_t(fl, 1);
+  std::printf("dT 3k leak  : stuck=%d T1=%s dT=%s\n", d2.stuck, format_time(d2.t1).c_str(),
+              format_time(d2.delta_t).c_str());
+
+  cfg.faults = {TsvFault::leakage(500.0)};
+  RingOscillator fs(cfg);
+  DeltaTResult d3 = measure_delta_t(fs, 1);
+  std::printf("dT 0.5k leak: stuck=%d valid=%d\n", d3.stuck, d3.valid);
+}
+
+static void leak_sweep(double vdd) {
+  for (double rl : {800.0, 1000.0, 1200.0, 1500.0, 2000.0, 3000.0, 5000.0, 10000.0}) {
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = 5;
+    cfg.vdd = vdd;
+    cfg.faults = {TsvFault::leakage(rl)};
+    RingOscillator ro(cfg);
+    ro.set_vdd(vdd);
+    DeltaTResult d = measure_delta_t(ro, 1);
+    std::printf("leak vdd=%.2f RL=%5.0f: stuck=%d dT=%s\n", vdd, rl, d.stuck,
+                format_time(d.delta_t).c_str());
+  }
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 5;
+  cfg.vdd = vdd;
+  RingOscillator ro(cfg);
+  ro.set_vdd(vdd);
+  DeltaTResult d = measure_delta_t(ro, 1);
+  std::printf("leak vdd=%.2f RL=inf : stuck=%d dT=%s\n", vdd, d.stuck,
+              format_time(d.delta_t).c_str());
+}
+
+int main(int argc, char**) {
+  rc_check();
+  ion_check();
+  inverter_dc();
+  buffer_delay();
+  ring_check(1.1);
+  ring_check(0.8);
+  delta_t_check();
+  if (argc > 1) {
+    leak_sweep(1.1);
+    leak_sweep(0.8);
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Model-calibration acceptance tests: these pin the technology behaviour the
+// paper's experiments depend on (DESIGN.md "acceptance criteria"). If a model
+// card is retuned, these tests define the envelope that must still hold.
+#include <gtest/gtest.h>
+
+#include "cells/gates.hpp"
+#include "models/ptm45.hpp"
+#include "sim/measure.hpp"
+#include "sim/newton.hpp"
+#include "sim/transient.hpp"
+#include "test_helpers.hpp"
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+using testutil::small_ring;
+
+TEST(Calibration, NmosStrongerThanPmosPerCell) {
+  // Cell-level drive ratio (PMOS at 1.5x width) should be ~0.5-0.8, typical
+  // for an LP process without full mobility compensation.
+  const double in = ekv_evaluate(ptm45lp_nmos(), nmos_params(1), 1.1, 1.1, 0.0).id;
+  const double ip = ekv_evaluate(ptm45lp_pmos(), pmos_params(1), 1.1, 1.1, 0.0).id;
+  const double ratio = ip / in;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.85);
+}
+
+TEST(Calibration, ThresholdsAreLpClass) {
+  EXPECT_GT(ptm45lp_nmos().vt0, 0.4);
+  EXPECT_LT(ptm45lp_nmos().vt0, 0.65);
+  EXPECT_GT(ptm45lp_pmos().vt0, 0.4);
+  EXPECT_LT(ptm45lp_pmos().vt0, 0.65);
+}
+
+TEST(Calibration, InverterSwitchingThresholdNearMidRail) {
+  // The receiver threshold governs both fault sensitivities; it must sit
+  // near VDD/2 (within ~15 %).
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& vin = c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.0));
+  make_inverter(ctx, "inv", in, out);
+  // Bisection for the VM where out crosses in.
+  double lo = 0.2;
+  double hi = 0.9;
+  for (int i = 0; i < 30; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    vin.set_waveform(SourceWaveform::dc(mid));
+    const Vector v = dc_operating_point(c);
+    if (v[static_cast<size_t>(out.value)] > mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double vm = 0.5 * (lo + hi);
+  EXPECT_GT(vm, 0.40);
+  EXPECT_LT(vm, 0.70);
+}
+
+TEST(Calibration, RingPeriodInPaperClass) {
+  // N = 5 at 1.1 V: the paper's example quotes T = 5 ns (200 MHz) for a
+  // realistic configuration; ours must land in the same order of magnitude.
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 5;
+  RingOscillator ro(cfg);
+  ro.enable_first(1);
+  const RoMeasurement m = measure_period(ro, fast_run());
+  ASSERT_TRUE(m.oscillating);
+  EXPECT_GT(m.period, 0.5e-9);
+  EXPECT_LT(m.period, 10e-9);
+}
+
+TEST(Calibration, LeakageDeathThresholdNearOneKiloOhm) {
+  // Paper Fig. 8: at 1.1 V, R_L <~ 1 kOhm prevents oscillation. Bracket the
+  // threshold within [0.6k, 2k].
+  {
+    RingOscillator dead(small_ring(TsvFault::leakage(600.0)));
+    EXPECT_TRUE(measure_delta_t(dead, 1, fast_run()).stuck);
+  }
+  {
+    RingOscillator alive(small_ring(TsvFault::leakage(2000.0)));
+    EXPECT_TRUE(measure_delta_t(alive, 1, fast_run()).valid);
+  }
+}
+
+TEST(Calibration, DeathThresholdDropsWithHigherVdd) {
+  // "This threshold depends on the supply voltage: it drops as we increase
+  // the voltage." A leak that kills the ring at 0.9 V must survive at 1.2 V.
+  const double rl = 1800.0;
+  RingOscillator low(small_ring(TsvFault::leakage(rl), 0.9));
+  low.set_vdd(0.9);
+  const DeltaTResult at_low = measure_delta_t(low, 1, fast_run());
+  RingOscillator high(small_ring(TsvFault::leakage(rl), 1.2));
+  high.set_vdd(1.2);
+  const DeltaTResult at_high = measure_delta_t(high, 1, fast_run());
+  EXPECT_TRUE(at_low.stuck);
+  EXPECT_TRUE(at_high.valid);
+}
+
+TEST(Calibration, Fig4SignsAtNominalVdd) {
+  // Fig. 4: at 1.1 V a 3 kOhm open at x = 0.5 makes the I/O cell *faster*
+  // and a 3 kOhm leak makes it *slower*, by tens of ps.
+  auto rise_delay = [](const TsvFault& fault) {
+    Circuit c;
+    CellContext ctx = CellContext::standard(c);
+    c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    const NodeId rcv = c.node("rcv");
+    c.add_voltage_source("vin", in, kGround,
+                         SourceWaveform::step(0.0, 1.1, 0.2e-9, 20e-12));
+    make_buffer(ctx, "drv", in, out, 4);
+    attach_tsv(c, "tsv", out, TsvTechnology::paper(), fault);
+    make_buffer(ctx, "rx", out, rcv, 1);
+    c.add_capacitor("cl", rcv, kGround, 2e-15);
+    TransientOptions t;
+    t.t_stop = 2e-9;
+    t.record = {in, rcv};
+    const TransientResult r = run_transient(c, t);
+    return propagation_delay(r.waveforms, in, rcv, 0.55, Edge::kRising, Edge::kRising);
+  };
+  const double ff = rise_delay(TsvFault::none());
+  const double open = rise_delay(TsvFault::open(3000.0, 0.5));
+  const double leak = rise_delay(TsvFault::leakage(3000.0));
+  ASSERT_GT(ff, 0.0);
+  EXPECT_LT(open, ff - 5e-12);   // faster by >= 5 ps
+  EXPECT_GT(leak, ff + 5e-12);   // slower by >= 5 ps
+  // Magnitudes in the tens-of-ps class, as in the paper.
+  EXPECT_LT(ff - open, 150e-12);
+  EXPECT_LT(leak - ff, 200e-12);
+}
+
+TEST(Calibration, OppositeFaultDirectionsInRing) {
+  // The distinguishability claim: opens reduce dT, leaks increase it.
+  RingOscillator ff(small_ring());
+  RingOscillator open(small_ring(TsvFault::open(3000.0, 0.5)));
+  RingOscillator leak(small_ring(TsvFault::leakage(2000.0)));
+  const double d_ff = measure_delta_t(ff, 1, fast_run()).delta_t;
+  const double d_open = measure_delta_t(open, 1, fast_run()).delta_t;
+  const double d_leak = measure_delta_t(leak, 1, fast_run()).delta_t;
+  EXPECT_LT(d_open, d_ff);
+  EXPECT_GT(d_leak, d_ff);
+}
+
+TEST(Calibration, RingStillOscillatesAtLowVoltage) {
+  // The multi-voltage plan reaches down to ~0.75 V; the fault-free DfT must
+  // still oscillate there (slowly).
+  RoRunOptions opt = fast_run();
+  opt.first_window = 150e-9;
+  opt.max_time = 500e-9;
+  RingOscillator ro(small_ring(TsvFault::none(), 0.75));
+  ro.set_vdd(0.75);
+  ro.enable_first(1);
+  const RoMeasurement m = measure_period(ro, opt);
+  ASSERT_TRUE(m.oscillating);
+  EXPECT_GT(m.period, 1e-9);
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "cells/gates.hpp"
+#include "sim/newton.hpp"
+#include "sim/transient.hpp"
+#include "sim/measure.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+constexpr double kVdd = 1.1;
+
+struct Fixture {
+  Circuit c;
+  CellContext ctx;
+  Fixture() : ctx(CellContext::standard(c)) {
+    c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(kVdd));
+  }
+  double dc(NodeId n) {
+    const Vector v = dc_operating_point(c);
+    return v[static_cast<size_t>(n.value)];
+  }
+};
+
+bool logic_high(double v) { return v > 0.9 * kVdd; }
+bool logic_low(double v) { return v < 0.1 * kVdd; }
+
+// --- truth tables (DC) -------------------------------------------------------
+
+struct TwoInputCase {
+  bool a, b;
+};
+
+class Nand2Test : public ::testing::TestWithParam<TwoInputCase> {};
+
+TEST_P(Nand2Test, TruthTable) {
+  Fixture f;
+  const NodeId a = f.c.node("a");
+  const NodeId b = f.c.node("b");
+  const NodeId y = f.c.node("y");
+  f.c.add_voltage_source("va", a, kGround, SourceWaveform::dc(GetParam().a ? kVdd : 0.0));
+  f.c.add_voltage_source("vb", b, kGround, SourceWaveform::dc(GetParam().b ? kVdd : 0.0));
+  make_nand2(f.ctx, "g", a, b, y);
+  const bool expected = !(GetParam().a && GetParam().b);
+  const double vy = f.dc(y);
+  EXPECT_TRUE(expected ? logic_high(vy) : logic_low(vy)) << "y=" << vy;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, Nand2Test,
+                         ::testing::Values(TwoInputCase{0, 0}, TwoInputCase{0, 1},
+                                           TwoInputCase{1, 0}, TwoInputCase{1, 1}));
+
+class Nor2Test : public ::testing::TestWithParam<TwoInputCase> {};
+
+TEST_P(Nor2Test, TruthTable) {
+  Fixture f;
+  const NodeId a = f.c.node("a");
+  const NodeId b = f.c.node("b");
+  const NodeId y = f.c.node("y");
+  f.c.add_voltage_source("va", a, kGround, SourceWaveform::dc(GetParam().a ? kVdd : 0.0));
+  f.c.add_voltage_source("vb", b, kGround, SourceWaveform::dc(GetParam().b ? kVdd : 0.0));
+  make_nor2(f.ctx, "g", a, b, y);
+  const bool expected = !(GetParam().a || GetParam().b);
+  const double vy = f.dc(y);
+  EXPECT_TRUE(expected ? logic_high(vy) : logic_low(vy)) << "y=" << vy;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, Nor2Test,
+                         ::testing::Values(TwoInputCase{0, 0}, TwoInputCase{0, 1},
+                                           TwoInputCase{1, 0}, TwoInputCase{1, 1}));
+
+struct MuxCase {
+  bool a, b, sel;
+};
+
+class Mux2Test : public ::testing::TestWithParam<MuxCase> {};
+
+TEST_P(Mux2Test, SelectsCorrectInput) {
+  Fixture f;
+  const NodeId a = f.c.node("a");
+  const NodeId b = f.c.node("b");
+  const NodeId s = f.c.node("s");
+  const NodeId y = f.c.node("y");
+  f.c.add_voltage_source("va", a, kGround, SourceWaveform::dc(GetParam().a ? kVdd : 0.0));
+  f.c.add_voltage_source("vb", b, kGround, SourceWaveform::dc(GetParam().b ? kVdd : 0.0));
+  f.c.add_voltage_source("vs", s, kGround, SourceWaveform::dc(GetParam().sel ? kVdd : 0.0));
+  make_mux2(f.ctx, "m", a, b, s, y);
+  const bool expected = GetParam().sel ? GetParam().b : GetParam().a;
+  const double vy = f.dc(y);
+  EXPECT_TRUE(expected ? logic_high(vy) : logic_low(vy)) << "y=" << vy;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, Mux2Test,
+                         ::testing::Values(MuxCase{0, 0, 0}, MuxCase{0, 0, 1},
+                                           MuxCase{0, 1, 0}, MuxCase{0, 1, 1},
+                                           MuxCase{1, 0, 0}, MuxCase{1, 0, 1},
+                                           MuxCase{1, 1, 0}, MuxCase{1, 1, 1}));
+
+TEST(Inverter, RailToRail) {
+  Fixture f;
+  const NodeId in = f.c.node("in");
+  const NodeId out = f.c.node("out");
+  auto& vin = f.c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.0));
+  make_inverter(f.ctx, "inv", in, out);
+  EXPECT_TRUE(logic_high(f.dc(out)));
+  vin.set_waveform(SourceWaveform::dc(kVdd));
+  EXPECT_TRUE(logic_low(f.dc(out)));
+}
+
+TEST(Buffer, NonInverting) {
+  Fixture f;
+  const NodeId in = f.c.node("in");
+  const NodeId out = f.c.node("out");
+  auto& vin = f.c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.0));
+  make_buffer(f.ctx, "buf", in, out, 4);
+  EXPECT_TRUE(logic_low(f.dc(out)));
+  vin.set_waveform(SourceWaveform::dc(kVdd));
+  EXPECT_TRUE(logic_high(f.dc(out)));
+}
+
+TEST(TristateBuffer, DrivesWhenEnabled) {
+  Fixture f;
+  const NodeId in = f.c.node("in");
+  const NodeId en = f.c.node("en");
+  const NodeId out = f.c.node("out");
+  auto& vin = f.c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(kVdd));
+  f.c.add_voltage_source("ven", en, kGround, SourceWaveform::dc(kVdd));
+  make_tristate_buffer(f.ctx, "tb", in, en, out, 4);
+  f.c.add_resistor("rload", out, kGround, 1e7);  // weak load
+  EXPECT_TRUE(logic_high(f.dc(out)));
+  vin.set_waveform(SourceWaveform::dc(0.0));
+  EXPECT_TRUE(logic_low(f.dc(out)));
+}
+
+TEST(TristateBuffer, HighZWhenDisabled) {
+  Fixture f;
+  const NodeId in = f.c.node("in");
+  const NodeId en = f.c.node("en");
+  const NodeId out = f.c.node("out");
+  f.c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(kVdd));
+  f.c.add_voltage_source("ven", en, kGround, SourceWaveform::dc(0.0));
+  make_tristate_buffer(f.ctx, "tb", in, en, out, 4);
+  // A modest pull-down should win against a disabled driver.
+  f.c.add_resistor("rload", out, kGround, 100e3);
+  EXPECT_TRUE(logic_low(f.dc(out)));
+}
+
+// --- dynamic behaviour -------------------------------------------------------
+
+double buffer_delay_with_load(int strength, double load_f) {
+  Fixture f;
+  const NodeId in = f.c.node("in");
+  const NodeId out = f.c.node("out");
+  f.c.add_voltage_source(
+      "vin", in, kGround,
+      SourceWaveform::pulse(0.0, kVdd, 0.2e-9, 20e-12, 20e-12, 2e-9, 4e-9));
+  make_buffer(f.ctx, "buf", in, out, strength);
+  if (load_f > 0.0) f.c.add_capacitor("cl", out, kGround, load_f);
+  TransientOptions t;
+  t.t_stop = 2e-9;
+  t.record = {in, out};
+  const TransientResult r = run_transient(f.c, t);
+  return propagation_delay(r.waveforms, in, out, kVdd / 2, Edge::kRising, Edge::kRising);
+}
+
+TEST(Buffer, DelayIncreasesWithLoad) {
+  const double d0 = buffer_delay_with_load(4, 10e-15);
+  const double d1 = buffer_delay_with_load(4, 59e-15);
+  const double d2 = buffer_delay_with_load(4, 150e-15);
+  EXPECT_GT(d0, 0.0);
+  EXPECT_LT(d0, d1);
+  EXPECT_LT(d1, d2);
+}
+
+TEST(Buffer, StrongerDriverIsFaster) {
+  const double weak = buffer_delay_with_load(1, 59e-15);
+  const double strong = buffer_delay_with_load(4, 59e-15);
+  EXPECT_GT(weak, strong);
+}
+
+TEST(Buffer, PaperClassDelay) {
+  // X4 buffer into the paper's 59 fF TSV: tens to ~200 ps at 1.1 V.
+  const double d = buffer_delay_with_load(4, 59e-15);
+  EXPECT_GT(d, 20e-12);
+  EXPECT_LT(d, 400e-12);
+}
+
+// --- cell library metadata ---------------------------------------------------
+
+TEST(CellLibrary, PaperAreas) {
+  EXPECT_DOUBLE_EQ(cell_area_um2(CellKind::kMux2), 3.75);
+  EXPECT_DOUBLE_EQ(cell_area_um2(CellKind::kInverter), 1.41);
+}
+
+TEST(CellLibrary, TransistorCounts) {
+  EXPECT_EQ(cell_transistor_count(CellKind::kInverter), 2);
+  EXPECT_EQ(cell_transistor_count(CellKind::kMux2), 14);
+  EXPECT_EQ(cell_transistor_count(CellKind::kTristateBuffer), 8);
+}
+
+TEST(CellLibrary, StrengthScalesWidths) {
+  EXPECT_DOUBLE_EQ(nmos_params(4).w, 4 * kX1WidthNmos);
+  EXPECT_DOUBLE_EQ(pmos_params(2, 2.0).w, 4 * kX1WidthPmos);
+  EXPECT_THROW(nmos_params(0), ConfigError);
+}
+
+TEST(CellLibrary, KindNames) {
+  EXPECT_STREQ(cell_kind_name(CellKind::kMux2), "MUX2");
+  EXPECT_STREQ(cell_kind_name(CellKind::kInverter), "INV");
+}
+
+TEST(Gates, GeneratedCellsPassConnectivity) {
+  Fixture f;
+  const NodeId a = f.c.node("a");
+  const NodeId b = f.c.node("b");
+  const NodeId s = f.c.node("s");
+  const NodeId y = f.c.node("y");
+  f.c.add_voltage_source("va", a, kGround, SourceWaveform::dc(0.0));
+  f.c.add_voltage_source("vb", b, kGround, SourceWaveform::dc(0.0));
+  f.c.add_voltage_source("vs", s, kGround, SourceWaveform::dc(0.0));
+  make_mux2(f.ctx, "m", a, b, s, y);
+  f.c.add_capacitor("cl", y, kGround, 1e-15);
+  EXPECT_NO_THROW(f.c.check_connectivity());
+}
+
+TEST(Gates, RequireCircuitInContext) {
+  CellContext empty;
+  EXPECT_THROW(make_inverter(empty, "i", kGround, kGround), ConfigError);
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "models/ptm45.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+TEST(NodeTable, GroundAliases) {
+  NodeTable t;
+  EXPECT_TRUE(t.get_or_create("0").is_ground());
+  EXPECT_TRUE(t.get_or_create("gnd").is_ground());
+  EXPECT_TRUE(t.get_or_create("GND").is_ground());
+  EXPECT_TRUE(t.get_or_create("vss").is_ground());
+  EXPECT_EQ(t.size(), 1u);  // only ground
+}
+
+TEST(NodeTable, SameNameSameId) {
+  NodeTable t;
+  const NodeId a = t.get_or_create("n1");
+  const NodeId b = t.get_or_create("N1");  // case-insensitive
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.unknown_count(), 1u);
+}
+
+TEST(NodeTable, FindThrowsOnUnknown) {
+  NodeTable t;
+  EXPECT_THROW(t.find("nope"), NetlistError);
+  t.get_or_create("a");
+  EXPECT_NO_THROW(t.find("a"));
+  EXPECT_TRUE(t.contains("a"));
+  EXPECT_TRUE(t.contains("gnd"));
+  EXPECT_FALSE(t.contains("b"));
+}
+
+TEST(NodeTable, NamesRoundTrip) {
+  NodeTable t;
+  const NodeId a = t.get_or_create("alpha");
+  EXPECT_EQ(t.name(a), "alpha");
+  EXPECT_EQ(t.name(kGround), "0");
+  EXPECT_THROW(t.name(NodeId{99}), NetlistError);
+}
+
+TEST(Circuit, DuplicateDeviceNameRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r1", a, kGround, 100.0);
+  EXPECT_THROW(c.add_resistor("r1", a, kGround, 200.0), NetlistError);
+}
+
+TEST(Circuit, FindDevice) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r1", a, kGround, 100.0);
+  EXPECT_NE(c.find_device("r1"), nullptr);
+  EXPECT_EQ(c.find_device("nope"), nullptr);
+}
+
+TEST(Circuit, BranchAndStateBookkeeping) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_voltage_source("v1", a, kGround, SourceWaveform::dc(1.0));
+  c.add_resistor("r1", a, b, 100.0);
+  c.add_capacitor("c1", b, kGround, 1e-12);
+  EXPECT_EQ(c.branch_count(), 1u);
+  EXPECT_EQ(c.state_count(), 1u);
+  EXPECT_EQ(c.unknown_count(), 3u);  // 2 nodes + 1 branch
+  // MOSFET adds 4 capacitor states and no branch.
+  MosInstanceParams p;
+  c.add_mosfet("m1", b, a, kGround, kGround, &ptm45lp_nmos(), p);
+  EXPECT_EQ(c.state_count(), 5u);
+  EXPECT_EQ(c.branch_count(), 1u);
+  EXPECT_EQ(c.mosfets().size(), 1u);
+}
+
+TEST(Circuit, ConnectivityCheckCatchesDanglingNode) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_resistor("r1", a, b, 100.0);
+  c.add_voltage_source("v1", a, kGround, SourceWaveform::dc(1.0));
+  // b has only one terminal attached.
+  EXPECT_THROW(c.check_connectivity(), NetlistError);
+  EXPECT_NO_THROW(c.check_connectivity(/*allow_single_terminal=*/true));
+  c.add_capacitor("c1", b, kGround, 1e-15);
+  EXPECT_NO_THROW(c.check_connectivity());
+}
+
+TEST(Devices, ValidationRejectsBadValues) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add_resistor("r_bad", a, kGround, 0.0), NetlistError);
+  EXPECT_THROW(c.add_resistor("r_neg", a, kGround, -5.0), NetlistError);
+  EXPECT_THROW(c.add_capacitor("c_neg", a, kGround, -1e-15), NetlistError);
+  EXPECT_NO_THROW(c.add_capacitor("c_zero", a, kGround, 0.0));
+  MosInstanceParams p;
+  EXPECT_THROW(c.add_mosfet("m_null", a, a, kGround, kGround, nullptr, p),
+               NetlistError);
+}
+
+TEST(Devices, TerminalsReported) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  auto& r = c.add_resistor("r1", a, b, 1.0);
+  ASSERT_EQ(r.terminals().size(), 2u);
+  EXPECT_EQ(r.terminals()[0], a);
+  EXPECT_EQ(r.terminals()[1], b);
+  MosInstanceParams p;
+  auto& m = c.add_mosfet("m1", a, b, kGround, kGround, &ptm45lp_nmos(), p);
+  EXPECT_EQ(m.terminals().size(), 4u);
+}
+
+// --- SourceWaveform behaviour ---------------------------------------------
+
+TEST(Waveform, DcIsConstant) {
+  const SourceWaveform w = SourceWaveform::dc(1.5);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(w.at(1e-6), 1.5);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 1.5);
+}
+
+TEST(Waveform, PulseShape) {
+  // 0 -> 1 V pulse: delay 1n, rise 0.1n, width 2n, fall 0.1n.
+  const SourceWaveform w = SourceWaveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.99e-9), 0.0);
+  EXPECT_NEAR(w.at(1.05e-9), 0.5, 1e-9);    // mid-rise
+  EXPECT_DOUBLE_EQ(w.at(2e-9), 1.0);        // flat top
+  EXPECT_NEAR(w.at(3.15e-9), 0.5, 1e-9);    // mid-fall
+  EXPECT_DOUBLE_EQ(w.at(5e-9), 0.0);        // back low, single pulse
+}
+
+TEST(Waveform, PulseRepeatsWithPeriod) {
+  const SourceWaveform w =
+      SourceWaveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 0.8e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(w.at(0.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(2.5e-9), 1.0);  // second period
+  EXPECT_DOUBLE_EQ(w.at(1.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(3.5e-9), 0.0);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const SourceWaveform w = SourceWaveform::pwl({{1e-9, 0.0}, {2e-9, 1.0}});
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);       // clamp before
+  EXPECT_NEAR(w.at(1.5e-9), 0.5, 1e-12);  // interpolation
+  EXPECT_DOUBLE_EQ(w.at(3e-9), 1.0);      // clamp after
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(SourceWaveform::pwl({}), ConfigError);
+  EXPECT_THROW(SourceWaveform::pwl({{2e-9, 1.0}, {1e-9, 0.0}}), ConfigError);
+}
+
+TEST(Waveform, StepConvenience) {
+  const SourceWaveform w = SourceWaveform::step(0.0, 1.0, 1e-9, 0.2e-9);
+  EXPECT_DOUBLE_EQ(w.at(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(2e-9), 1.0);
+  EXPECT_NEAR(w.at(1.1e-9), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace rotsv

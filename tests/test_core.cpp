@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/tester.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/overlap.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+
+TesterConfig small_tester_config() {
+  TesterConfig cfg;
+  cfg.group_size = 2;
+  cfg.voltages = {1.1};
+  cfg.run = fast_run();
+  cfg.calibration_samples = 3;
+  return cfg;
+}
+
+TEST(Tester, ConfigValidation) {
+  TesterConfig cfg = small_tester_config();
+  cfg.voltages.clear();
+  EXPECT_THROW(PreBondTsvTester{cfg}, ConfigError);
+  cfg = small_tester_config();
+  cfg.calibration_samples = 1;
+  EXPECT_THROW(PreBondTsvTester{cfg}, ConfigError);
+}
+
+TEST(Tester, RequiresCalibrationBeforeTesting) {
+  PreBondTsvTester tester(small_tester_config());
+  EXPECT_FALSE(tester.calibrated());
+  Rng rng(1);
+  EXPECT_THROW(tester.test_die_tsv(TsvFault::none(), rng), ConfigError);
+  EXPECT_THROW(tester.classifier(0), ConfigError);
+  EXPECT_THROW(tester.set_band(5, 0.0, 1.0), ConfigError);
+}
+
+TEST(Tester, PresetBandsClassifyFaults) {
+  // Band chosen around the pristine N=2 dT (~0.8-0.9 ns at 1.1 V) with a
+  // wide +/-80 ps guard band: opens land below, leaks above.
+  TesterConfig cfg = small_tester_config();
+  PreBondTsvTester tester(cfg);
+
+  // Establish the nominal dT first.
+  RingOscillator ro(testutil::small_ring());
+  const DeltaTResult nominal = measure_delta_t(ro, 1, cfg.run);
+  ASSERT_TRUE(nominal.valid);
+  tester.set_band(0, nominal.delta_t - 80e-12, nominal.delta_t + 80e-12);
+  ASSERT_TRUE(tester.calibrated());
+
+  Rng rng(42);
+  const TestReport pass = tester.test_die_tsv(TsvFault::none(), rng);
+  EXPECT_EQ(pass.verdict, TsvVerdict::kPass);
+
+  const TestReport open = tester.test_die_tsv(TsvFault::open(1e6, 0.1), rng);
+  EXPECT_EQ(open.verdict, TsvVerdict::kResistiveOpen);
+  EXPECT_FALSE(open.describe().empty());
+
+  const TestReport leak = tester.test_die_tsv(TsvFault::leakage(1600.0), rng);
+  EXPECT_EQ(leak.verdict, TsvVerdict::kLeakage);
+
+  const TestReport stuck = tester.test_die_tsv(TsvFault::leakage(300.0), rng);
+  EXPECT_EQ(stuck.verdict, TsvVerdict::kStuck);
+  ASSERT_EQ(stuck.readings.size(), 1u);
+  EXPECT_TRUE(stuck.readings[0].stuck);
+}
+
+TEST(Tester, CalibrationBuildsBands) {
+  TesterConfig cfg = small_tester_config();
+  PreBondTsvTester tester(cfg);
+  tester.calibrate();
+  ASSERT_TRUE(tester.calibrated());
+  ASSERT_EQ(tester.calibration_populations().size(), 1u);
+  EXPECT_EQ(tester.calibration_populations()[0].size(), 3u);
+  const DeltaTClassifier& c = tester.classifier(0);
+  EXPECT_GT(c.upper(), c.lower());
+  // All calibration samples are inside their own band.
+  for (double v : tester.calibration_populations()[0]) {
+    EXPECT_EQ(c.classify(v), TsvVerdict::kPass);
+  }
+}
+
+TEST(CombineVerdicts, Priorities) {
+  auto reading = [](TsvVerdict v) {
+    VoltageReading r;
+    r.verdict = v;
+    return r;
+  };
+  EXPECT_EQ(combine_verdicts({reading(TsvVerdict::kPass), reading(TsvVerdict::kPass)}),
+            TsvVerdict::kPass);
+  EXPECT_EQ(combine_verdicts({reading(TsvVerdict::kPass), reading(TsvVerdict::kLeakage)}),
+            TsvVerdict::kLeakage);
+  EXPECT_EQ(combine_verdicts({reading(TsvVerdict::kResistiveOpen),
+                              reading(TsvVerdict::kPass)}),
+            TsvVerdict::kResistiveOpen);
+  EXPECT_EQ(combine_verdicts({reading(TsvVerdict::kLeakage),
+                              reading(TsvVerdict::kStuck)}),
+            TsvVerdict::kStuck);
+  EXPECT_EQ(combine_verdicts({}), TsvVerdict::kPass);
+}
+
+// --- baselines ---------------------------------------------------------------
+
+TEST(SingleTsvBaseline, DetectsOpenDirectionally) {
+  SingleTsvBaselineConfig cfg;
+  cfg.run = fast_run();
+  cfg.variation = VariationModel::none();
+  Rng rng(1);
+  const SingleTsvReading ff = run_single_tsv_baseline(cfg, TsvFault::none(), rng);
+  const SingleTsvReading open =
+      run_single_tsv_baseline(cfg, TsvFault::open(50000.0, 0.3), rng);
+  ASSERT_FALSE(ff.stuck);
+  ASSERT_FALSE(open.stuck);
+  EXPECT_LT(open.delta_t, ff.delta_t);
+}
+
+TEST(ChargeSharing, NominalVoltageMatchesChargeConservation) {
+  ChargeSharingConfig cfg;
+  const double v = charge_sharing_nominal_v(cfg);
+  EXPECT_NEAR(v, cfg.vdd * cfg.c_tsv_nominal / (cfg.c_tsv_nominal + cfg.c_share), 1e-15);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, cfg.vdd);
+}
+
+TEST(ChargeSharing, IdealMeasurementRecoversCapacitance) {
+  ChargeSharingConfig cfg;
+  cfg.sense_offset_sigma = 0.0;
+  cfg.cap_variation_rel = 0.0;
+  Rng rng(1);
+  const ChargeSharingReading r = run_charge_sharing(cfg, TsvFault::none(), rng);
+  EXPECT_NEAR(r.c_inferred, cfg.c_tsv_nominal, cfg.c_tsv_nominal * 1e-9);
+}
+
+TEST(ChargeSharing, LeakDischargesSharedCharge) {
+  ChargeSharingConfig cfg;
+  cfg.sense_offset_sigma = 0.0;
+  cfg.cap_variation_rel = 0.0;
+  Rng rng(1);
+  const ChargeSharingReading leak =
+      run_charge_sharing(cfg, TsvFault::leakage(10e3), rng);
+  // tau = 10k * ~177 fF ~ 1.8 ns << 1 us share time: voltage collapses.
+  EXPECT_LT(leak.v_sense, 0.01);
+}
+
+TEST(ChargeSharing, ResistiveOpenIsNearlyInvisible) {
+  // The paper's implicit criticism: over microsecond share intervals a
+  // multi-kOhm open keeps the far capacitance connected, so the method
+  // cannot see it -- unlike the RO method.
+  ChargeSharingConfig cfg;
+  cfg.sense_offset_sigma = 0.0;
+  cfg.cap_variation_rel = 0.0;
+  Rng rng(1);
+  const double c_ff = run_charge_sharing(cfg, TsvFault::none(), rng).c_inferred;
+  const double c_open =
+      run_charge_sharing(cfg, TsvFault::open(3000.0, 0.5), rng).c_inferred;
+  EXPECT_NEAR(c_open, c_ff, c_ff * 0.01);  // < 1 % change for a 3 kOhm open
+}
+
+TEST(ChargeSharing, FullOpenIsVisible) {
+  ChargeSharingConfig cfg;
+  cfg.sense_offset_sigma = 0.0;
+  cfg.cap_variation_rel = 0.0;
+  Rng rng(1);
+  const double c_ff = run_charge_sharing(cfg, TsvFault::none(), rng).c_inferred;
+  // R_O so large that R*C approaches the share time.
+  const double c_open =
+      run_charge_sharing(cfg, TsvFault::open(1e11, 0.5), rng).c_inferred;
+  EXPECT_LT(c_open, 0.6 * c_ff);
+}
+
+TEST(ChargeSharing, ProcessVariationBlursMeasurement) {
+  // The paper's stated drawback: "a major drawback of this approach is its
+  // susceptibility to process variations". With realistic cap variation and
+  // sense offset, the inferred capacitance spread overlaps a 20 % cap defect.
+  ChargeSharingConfig cfg;
+  Rng rng(7);
+  std::vector<double> ff;
+  std::vector<double> faulty;
+  for (int i = 0; i < 100; ++i) {
+    ff.push_back(run_charge_sharing(cfg, TsvFault::none(), rng).c_inferred);
+    // A void reducing the capacitance by 20 % (modelled as full open at 0.8).
+    faulty.push_back(
+        run_charge_sharing(cfg, TsvFault::open(1e12, 0.8), rng).c_inferred);
+  }
+  EXPECT_GT(range_overlap(ff, faulty), 0.0);
+  EXPECT_GT(gaussian_overlap(ff, faulty), 0.05);
+}
+
+TEST(ChargeSharing, Validation) {
+  ChargeSharingConfig cfg;
+  cfg.c_share = 0.0;
+  Rng rng(1);
+  EXPECT_THROW(run_charge_sharing(cfg, TsvFault::none(), rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace rotsv

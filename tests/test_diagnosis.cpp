@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/diagnosis.hpp"
+#include "sim/dc_sweep.hpp"
+#include "cells/gates.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+
+GroupDiagnosisConfig diag_config() {
+  GroupDiagnosisConfig cfg;
+  cfg.group_size = 2;
+  cfg.run = fast_run();
+  return cfg;
+}
+
+/// Measures pristine group/single dT once and derives demo bands.
+void install_bands(GroupDiagnosisConfig* cfg) {
+  RingOscillatorConfig rc;
+  rc.num_tsvs = cfg->group_size;
+  RingOscillator golden(rc);
+  const DeltaTResult group = measure_delta_t(golden, cfg->group_size, cfg->run);
+  const DeltaTResult single = measure_delta_t_single(golden, 0, cfg->run);
+  cfg->group_band =
+      DeltaTClassifier::from_band(group.delta_t - 30e-12, group.delta_t + 30e-12);
+  cfg->single_band =
+      DeltaTClassifier::from_band(single.delta_t - 25e-12, single.delta_t + 25e-12);
+}
+
+TEST(Diagnosis, CleanGroupUsesOneMeasurement) {
+  GroupDiagnosisConfig cfg = diag_config();
+  install_bands(&cfg);
+  RingOscillatorConfig rc;
+  rc.num_tsvs = 2;
+  RingOscillator dut(rc);
+  const GroupDiagnosisResult r = diagnose_group(dut, cfg);
+  EXPECT_TRUE(r.group_clean);
+  EXPECT_EQ(r.measurements_used, 1);
+  EXPECT_TRUE(r.faulty_tsvs.empty());
+}
+
+TEST(Diagnosis, LocalizesOpenOnSecondTsv) {
+  GroupDiagnosisConfig cfg = diag_config();
+  install_bands(&cfg);
+  RingOscillatorConfig rc;
+  rc.num_tsvs = 2;
+  rc.faults = {TsvFault::none(), TsvFault::open(1e6, 0.2)};
+  RingOscillator dut(rc);
+  const GroupDiagnosisResult r = diagnose_group(dut, cfg);
+  EXPECT_FALSE(r.group_clean);
+  EXPECT_EQ(r.measurements_used, 3);  // 1 group + 2 singles
+  ASSERT_EQ(r.faulty_tsvs.size(), 1u);
+  EXPECT_EQ(r.faulty_tsvs[0].tsv_index, 1);
+  EXPECT_EQ(r.faulty_tsvs[0].verdict, TsvVerdict::kResistiveOpen);
+}
+
+TEST(Diagnosis, StuckGroupStillLocalizes) {
+  GroupDiagnosisConfig cfg = diag_config();
+  install_bands(&cfg);
+  RingOscillatorConfig rc;
+  rc.num_tsvs = 2;
+  rc.faults = {TsvFault::leakage(300.0)};  // kills the group oscillation
+  RingOscillator dut(rc);
+  const GroupDiagnosisResult r = diagnose_group(dut, cfg);
+  EXPECT_TRUE(r.group_stuck);
+  ASSERT_EQ(r.faulty_tsvs.size(), 1u);
+  EXPECT_EQ(r.faulty_tsvs[0].tsv_index, 0);
+  EXPECT_EQ(r.faulty_tsvs[0].verdict, TsvVerdict::kStuck);
+}
+
+TEST(Diagnosis, GroupSizeMismatchRejected) {
+  GroupDiagnosisConfig cfg = diag_config();
+  RingOscillatorConfig rc;
+  rc.num_tsvs = 3;
+  RingOscillator dut(rc);
+  EXPECT_THROW(diagnose_group(dut, cfg), ConfigError);
+}
+
+TEST(ResponseCurve, OpenCurveMonotoneAndInvertible) {
+  GroupDiagnosisConfig cfg = diag_config();
+  const ResponseCurve curve = ResponseCurve::build_open_curve(cfg, 0.5, 500.0, 50e3, 5);
+  ASSERT_GE(curve.sizes().size(), 4u);
+  // dT decreases as R_O grows.
+  for (size_t i = 1; i < curve.delta_ts().size(); ++i) {
+    EXPECT_LT(curve.delta_ts()[i], curve.delta_ts()[i - 1]);
+  }
+  // Inversion recovers an interior point within ~35 % (log interpolation).
+  const size_t mid = curve.sizes().size() / 2;
+  const auto est = curve.invert(curve.delta_ts()[mid]);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, curve.sizes()[mid], curve.sizes()[mid] * 0.35);
+  // Out-of-range dT -> nullopt.
+  EXPECT_FALSE(curve.invert(curve.fault_free_delta_t() + 1e-9).has_value());
+}
+
+TEST(ResponseCurve, LeakCurveExcludesStuckAndInverts) {
+  GroupDiagnosisConfig cfg = diag_config();
+  const ResponseCurve curve = ResponseCurve::build_leak_curve(cfg, 500.0, 100e3, 6);
+  // The 500-Ohm point is below the death threshold and must be excluded.
+  EXPECT_GT(curve.sizes().front(), 500.0);
+  // dT grows as R_L shrinks: the curve (ascending in R) is descending in dT,
+  // up to ~2 ps of period-extraction noise where weak leaks flatten out.
+  for (size_t i = 1; i < curve.delta_ts().size(); ++i) {
+    EXPECT_LT(curve.delta_ts()[i], curve.delta_ts()[i - 1] + 2e-12);
+  }
+  // The strong-leak end must show a clearly elevated dT.
+  EXPECT_GT(curve.delta_ts().front(), curve.delta_ts().back() + 10e-12);
+  const auto est = curve.invert(curve.delta_ts()[1]);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, curve.sizes()[1], curve.sizes()[1] * 0.35);
+}
+
+TEST(Aliasing, ReportsDetectabilityLimits) {
+  AliasingConfig cfg;
+  cfg.group_size = 2;
+  cfg.run = fast_run();
+  cfg.mc_samples = 4;
+  const AliasingReport r = analyze_aliasing(cfg);
+  EXPECT_GT(r.sigma_delta_t, 0.0);
+  EXPECT_NEAR(r.guard_band, cfg.k_sigma * r.sigma_delta_t, 1e-18);
+  // Some open must be detectable, and it must be larger than trivial.
+  EXPECT_GT(r.min_detectable_open, 100.0);
+  // The weakest detectable leak lies above the death threshold.
+  EXPECT_GT(r.max_detectable_leak, 800.0);
+}
+
+// --- DC sweep ------------------------------------------------------------------
+
+TEST(DcSweep, LinearCircuitMatchesDivider) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.0));
+  c.add_resistor("r1", in, mid, 1000.0);
+  c.add_resistor("r2", mid, kGround, 1000.0);
+  const DcSweepResult r = dc_sweep(c, "vin", 0.0, 2.0, 5);
+  ASSERT_EQ(r.sweep_values.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(r.node_voltages[i][static_cast<size_t>(mid.value)],
+                r.sweep_values[i] / 2.0, 1e-6);
+  }
+  // Waveform restored afterwards.
+  const auto* vs = dynamic_cast<const VoltageSource*>(c.find_device("vin"));
+  EXPECT_DOUBLE_EQ(vs->waveform().dc_value(), 0.0);
+}
+
+TEST(DcSweep, Validation) {
+  Circuit c;
+  c.add_resistor("r", c.node("a"), kGround, 1.0);
+  EXPECT_THROW(dc_sweep(c, "nope", 0.0, 1.0, 3), ConfigError);
+  c.add_voltage_source("v", c.node("a"), kGround, SourceWaveform::dc(0.0));
+  EXPECT_THROW(dc_sweep(c, "v", 0.0, 1.0, 1), ConfigError);
+}
+
+TEST(DcSweep, FindsInverterThreshold) {
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.0));
+  make_inverter(ctx, "inv", in, out);
+  const double vm = find_switching_threshold(c, "vin", out, 0.1, 1.0);
+  EXPECT_GT(vm, 0.40);
+  EXPECT_LT(vm, 0.70);
+  // Consistency: at VM the output is close to VM.
+  auto* vs = dynamic_cast<VoltageSource*>(c.find_device("vin"));
+  vs->set_waveform(SourceWaveform::dc(vm));
+  const Vector v = dc_operating_point(c);
+  EXPECT_NEAR(v[static_cast<size_t>(out.value)], vm, 0.05);
+}
+
+}  // namespace
+}  // namespace rotsv

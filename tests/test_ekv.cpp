@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/ekv.hpp"
+#include "models/ptm45.hpp"
+#include "models/variation.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+namespace {
+
+TEST(EkvPrimitives, SoftplusLimits) {
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(softplus(100.0), 100.0, 1e-9);      // linear regime
+  EXPECT_NEAR(softplus(-100.0), 0.0, 1e-12);      // underflow to 0
+  EXPECT_GT(softplus(-10.0), 0.0);                // strictly positive
+  // Monotone increasing.
+  double prev = softplus(-50.0);
+  for (double x = -49.0; x <= 50.0; x += 1.0) {
+    const double v = softplus(x);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(EkvPrimitives, SigmoidProperties) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-100.0), 0.0, 1e-12);
+  // Symmetry: s(-x) = 1 - s(x).
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(sigmoid(-x), 1.0 - sigmoid(x), 1e-12);
+  }
+}
+
+MosInstanceParams x1_nmos() {
+  MosInstanceParams p;
+  p.w = kX1WidthNmos;
+  p.l = kDrawnLength;
+  return p;
+}
+
+TEST(Ekv, ZeroVdsGivesZeroCurrent) {
+  const MosEval e = ekv_evaluate(ptm45lp_nmos(), x1_nmos(), 1.1, 0.7, 0.7);
+  EXPECT_NEAR(e.id, 0.0, 1e-15);
+}
+
+TEST(Ekv, SymmetryUnderSourceDrainSwap) {
+  const auto& card = ptm45lp_nmos();
+  const MosEval fwd = ekv_evaluate(card, x1_nmos(), 1.1, 0.8, 0.2);
+  const MosEval rev = ekv_evaluate(card, x1_nmos(), 1.1, 0.2, 0.8);
+  EXPECT_NEAR(fwd.id, -rev.id, std::fabs(fwd.id) * 1e-9);
+}
+
+TEST(Ekv, CurrentIncreasesWithVgs) {
+  const auto& card = ptm45lp_nmos();
+  double prev = -1.0;
+  for (double vg = 0.0; vg <= 1.2; vg += 0.05) {
+    const MosEval e = ekv_evaluate(card, x1_nmos(), vg, 1.1, 0.0);
+    EXPECT_GT(e.id, prev) << "vg=" << vg;
+    prev = e.id;
+  }
+}
+
+TEST(Ekv, CurrentIncreasesWithVds) {
+  const auto& card = ptm45lp_nmos();
+  double prev = -1.0;
+  for (double vd = 0.0; vd <= 1.2; vd += 0.05) {
+    const MosEval e = ekv_evaluate(card, x1_nmos(), 1.1, vd, 0.0);
+    EXPECT_GE(e.id, prev) << "vd=" << vd;
+    prev = e.id;
+  }
+}
+
+TEST(Ekv, SubthresholdIsExponential) {
+  const auto& card = ptm45lp_nmos();
+  // Two points 100 mV apart, both well below threshold: the ratio should be
+  // close to exp(0.1 / (n * UT)).
+  const double i1 = ekv_evaluate(card, x1_nmos(), 0.25, 1.1, 0.0).id;
+  const double i2 = ekv_evaluate(card, x1_nmos(), 0.35, 1.1, 0.0).id;
+  const double expected_ratio = std::exp(0.1 / (card.n_slope * card.ut));
+  EXPECT_NEAR(i2 / i1, expected_ratio, expected_ratio * 0.15);
+}
+
+TEST(Ekv, LpClassCurrents) {
+  // Drive and leakage currents must be in the 45 nm LP class: Ion of an X1
+  // NMOS in the 100-300 uA range, Ioff under a nanoamp.
+  const double ion = ekv_evaluate(ptm45lp_nmos(), x1_nmos(), 1.1, 1.1, 0.0).id;
+  const double ioff = ekv_evaluate(ptm45lp_nmos(), x1_nmos(), 0.0, 1.1, 0.0).id;
+  EXPECT_GT(ion, 100e-6);
+  EXPECT_LT(ion, 300e-6);
+  EXPECT_GT(ioff, 0.0);
+  EXPECT_LT(ioff, 1e-9);
+  EXPECT_GT(ion / ioff, 1e5);
+}
+
+TEST(Ekv, BodyEffectReducesCurrent) {
+  const auto& card = ptm45lp_nmos();
+  // Same Vgs/Vds but source lifted above bulk: current must drop.
+  const double at_zero = ekv_evaluate(card, x1_nmos(), 1.1, 1.1, 0.0).id;
+  const double lifted = ekv_evaluate(card, x1_nmos(), 1.4, 1.4, 0.3).id;
+  EXPECT_LT(lifted, at_zero);
+}
+
+TEST(Ekv, DeltaVtShiftsCurrent) {
+  const auto& card = ptm45lp_nmos();
+  MosInstanceParams hi = x1_nmos();
+  hi.delta_vt = 0.03;
+  MosInstanceParams lo = x1_nmos();
+  lo.delta_vt = -0.03;
+  const double i_hi = ekv_evaluate(card, hi, 1.1, 1.1, 0.0).id;
+  const double i_nom = ekv_evaluate(card, x1_nmos(), 1.1, 1.1, 0.0).id;
+  const double i_lo = ekv_evaluate(card, lo, 1.1, 1.1, 0.0).id;
+  EXPECT_LT(i_hi, i_nom);
+  EXPECT_GT(i_lo, i_nom);
+}
+
+TEST(Ekv, LeffScalesCurrent) {
+  const auto& card = ptm45lp_nmos();
+  MosInstanceParams longer = x1_nmos();
+  longer.l_scale = 1.1;
+  const double i_long = ekv_evaluate(card, longer, 1.1, 1.1, 0.0).id;
+  const double i_nom = ekv_evaluate(card, x1_nmos(), 1.1, 1.1, 0.0).id;
+  EXPECT_NEAR(i_long / i_nom, 1.0 / 1.1, 0.01);
+}
+
+// Property: analytic derivatives match central finite differences across a
+// grid of operating points (the single most important property for Newton
+// convergence).
+struct OpPoint {
+  double vg, vd, vs;
+};
+
+class EkvDerivativeTest : public ::testing::TestWithParam<OpPoint> {};
+
+TEST_P(EkvDerivativeTest, MatchesFiniteDifference) {
+  const auto& card = ptm45lp_nmos();
+  const OpPoint p = GetParam();
+  const double h = 1e-6;
+  const MosEval e = ekv_evaluate(card, x1_nmos(), p.vg, p.vd, p.vs);
+
+  const double dg = (ekv_evaluate(card, x1_nmos(), p.vg + h, p.vd, p.vs).id -
+                     ekv_evaluate(card, x1_nmos(), p.vg - h, p.vd, p.vs).id) /
+                    (2 * h);
+  const double dd = (ekv_evaluate(card, x1_nmos(), p.vg, p.vd + h, p.vs).id -
+                     ekv_evaluate(card, x1_nmos(), p.vg, p.vd - h, p.vs).id) /
+                    (2 * h);
+  const double ds = (ekv_evaluate(card, x1_nmos(), p.vg, p.vd, p.vs + h).id -
+                     ekv_evaluate(card, x1_nmos(), p.vg, p.vd, p.vs - h).id) /
+                    (2 * h);
+  const double scale = std::max({std::fabs(dg), std::fabs(dd), std::fabs(ds), 1e-9});
+  EXPECT_NEAR(e.g_g, dg, scale * 1e-3);
+  EXPECT_NEAR(e.g_d, dd, scale * 1e-3);
+  EXPECT_NEAR(e.g_s, ds, scale * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EkvDerivativeTest,
+    ::testing::Values(OpPoint{1.1, 1.1, 0.0}, OpPoint{1.1, 0.05, 0.0},
+                      OpPoint{0.6, 1.1, 0.0}, OpPoint{0.6, 0.3, 0.0},
+                      OpPoint{0.3, 1.1, 0.0}, OpPoint{1.1, 0.5, 0.4},
+                      OpPoint{0.8, 0.2, 0.6}, OpPoint{0.0, 1.1, 0.0},
+                      OpPoint{1.2, 1.2, 1.2}, OpPoint{0.75, 0.75, 0.0}));
+
+TEST(EkvCaps, ScaleWithGeometry) {
+  const auto& card = ptm45lp_nmos();
+  const MosCaps c1 = ekv_capacitances(card, x1_nmos());
+  MosInstanceParams wide = x1_nmos();
+  wide.w *= 4.0;
+  const MosCaps c4 = ekv_capacitances(card, wide);
+  EXPECT_GT(c1.cgs, 0.0);
+  EXPECT_GT(c1.cgd, 0.0);
+  EXPECT_GT(c1.cdb, 0.0);
+  EXPECT_NEAR(c4.cgs / c1.cgs, 4.0, 1e-9);
+  EXPECT_NEAR(c4.cdb / c1.cdb, 4.0, 1e-9);
+  // X1 NMOS total gate cap should be fF-scale (sanity).
+  EXPECT_GT(c1.cgs + c1.cgd, 0.1e-15);
+  EXPECT_LT(c1.cgs + c1.cgd, 10e-15);
+}
+
+TEST(Variation, NoneLeavesParamsUntouched) {
+  Rng rng(1);
+  MosInstanceParams p = x1_nmos();
+  VariationModel::none().perturb(rng, &p);
+  EXPECT_EQ(p.delta_vt, 0.0);
+  EXPECT_EQ(p.l_scale, 1.0);
+}
+
+TEST(Variation, PaperSigmas) {
+  const VariationModel m = VariationModel::paper();
+  EXPECT_NEAR(3.0 * m.sigma_vth, 0.030, 1e-12);        // 3s Vth = 30 mV
+  EXPECT_NEAR(3.0 * m.sigma_leff_rel, 0.10, 1e-12);    // 3s Leff = 10 %
+  EXPECT_TRUE(m.enabled());
+  EXPECT_FALSE(VariationModel::none().enabled());
+}
+
+TEST(Variation, GlobalComponentSharedAcrossDie) {
+  const VariationModel m = VariationModel::with_global();
+  Rng rng(9);
+  const GlobalVariation g = m.draw_global(rng);
+  // Two transistors on the same die share the global part exactly.
+  VariationModel local_free = m;
+  local_free.sigma_vth = 0.0;
+  local_free.sigma_leff_rel = 0.0;
+  MosInstanceParams a = x1_nmos();
+  MosInstanceParams b = x1_nmos();
+  local_free.perturb(rng, g, &a);
+  local_free.perturb(rng, g, &b);
+  EXPECT_EQ(a.delta_vt, b.delta_vt);
+  EXPECT_EQ(a.l_scale, b.l_scale);
+  EXPECT_EQ(a.delta_vt, g.delta_vt);
+}
+
+TEST(Variation, PaperModelIsLocalOnly) {
+  const VariationModel m = VariationModel::paper();
+  Rng rng(5);
+  const GlobalVariation g = m.draw_global(rng);
+  EXPECT_EQ(g.delta_vt, 0.0);
+  EXPECT_EQ(g.l_scale, 1.0);
+  EXPECT_TRUE(m.enabled());
+  EXPECT_GT(VariationModel::with_global().sigma_vth_global, 0.0);
+}
+
+TEST(Variation, PerturbationStatistics) {
+  const VariationModel m = VariationModel::paper();
+  Rng rng(42);
+  const int n = 5000;
+  double sum_vt = 0.0;
+  double sum_vt2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    MosInstanceParams p = x1_nmos();
+    m.perturb(rng, &p);
+    sum_vt += p.delta_vt;
+    sum_vt2 += p.delta_vt * p.delta_vt;
+    EXPECT_GT(p.l_scale, 0.5);
+  }
+  const double mean = sum_vt / n;
+  const double sd = std::sqrt(sum_vt2 / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.001);
+  EXPECT_NEAR(sd, m.sigma_vth, m.sigma_vth * 0.1);
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,94 @@
+// End-to-end flows: calibrate-then-test with the public API, and small-scale
+// versions of the paper's experiment shapes.
+#include <gtest/gtest.h>
+
+#include "core/tester.hpp"
+#include "dft/scheduler.hpp"
+#include "stats/overlap.hpp"
+#include "test_helpers.hpp"
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+
+TEST(Integration, CalibrateThenScreenThreeDice) {
+  TesterConfig cfg;
+  cfg.group_size = 2;
+  cfg.voltages = {1.1, 0.95};
+  cfg.run = fast_run();
+  cfg.calibration_samples = 4;
+  cfg.guard_band_sigma = 4.0;
+  PreBondTsvTester tester(cfg);
+  tester.calibrate();
+  ASSERT_TRUE(tester.calibrated());
+
+  Rng rng(2024);
+  const TestReport good = tester.test_die_tsv(TsvFault::none(), rng);
+  EXPECT_EQ(good.verdict, TsvVerdict::kPass) << good.describe();
+
+  const TestReport open = tester.test_die_tsv(TsvFault::open(1e6, 0.2), rng);
+  EXPECT_EQ(open.verdict, TsvVerdict::kResistiveOpen) << open.describe();
+
+  const TestReport stuck = tester.test_die_tsv(TsvFault::leakage(250.0), rng);
+  EXPECT_EQ(stuck.verdict, TsvVerdict::kStuck) << stuck.describe();
+}
+
+TEST(Integration, MultiVoltageCatchesWeakLeak) {
+  // A weak leak that is inside the 1.1 V band becomes visible at a lower
+  // voltage -- the paper's core multi-voltage argument. We emulate it by
+  // measuring dT shifts directly at both voltages.
+  const double rl = 4000.0;
+  RoRunOptions run = fast_run();
+  run.first_window = 80e-9;
+  run.max_time = 300e-9;
+
+  auto delta_shift = [&](double vdd) {
+    RingOscillatorConfig ff_cfg = testutil::small_ring(TsvFault::none(), vdd);
+    RingOscillator ff(ff_cfg);
+    ff.set_vdd(vdd);
+    const DeltaTResult d_ff = measure_delta_t(ff, 1, run);
+
+    RingOscillatorConfig lk_cfg = testutil::small_ring(TsvFault::leakage(rl), vdd);
+    RingOscillator lk(lk_cfg);
+    lk.set_vdd(vdd);
+    const DeltaTResult d_lk = measure_delta_t(lk, 1, run);
+    if (d_lk.stuck) return 1.0;  // infinitely visible
+    return (d_lk.delta_t - d_ff.delta_t) / d_ff.delta_t;
+  };
+
+  const double visibility_high = delta_shift(1.1);
+  const double visibility_low = delta_shift(0.85);
+  // The relative dT shift grows (or saturates at "stuck") as VDD drops.
+  EXPECT_GT(visibility_low, 2.0 * visibility_high);
+}
+
+TEST(Integration, CounterQuantizationSmallAgainstDeltaT) {
+  // The on-chip measurement error (T^2/t) must be negligible against the
+  // fault-induced dT shifts, otherwise the method could not work.
+  RingOscillator ro(testutil::small_ring());
+  const DeltaTResult d = measure_delta_t(ro, 1, fast_run());
+  ASSERT_TRUE(d.valid);
+  const double err = PeriodMeter::error_bound_plus(d.t1, 5e-6);
+  EXPECT_LT(err, 0.02 * d.delta_t);
+}
+
+TEST(Integration, WholeDieScheduleAndAreaStory) {
+  // Tie the DfT bookkeeping together: 1000-TSV die, N = 5, 4 voltages.
+  DftArchitectureConfig arch_cfg;
+  arch_cfg.tsv_count = 1000;
+  arch_cfg.group_size = 5;
+  const DftArchitecture arch(arch_cfg);
+  EXPECT_EQ(arch.group_count(), 200);
+  EXPECT_DOUBLE_EQ(arch.area().total_um2, 7782.0);
+
+  TestTimeConfig time_cfg;
+  const TestSchedule schedule = build_schedule(arch, TestMode::kPerTsv, time_cfg);
+  // 200 groups * 6 measurements * 4 voltages.
+  EXPECT_EQ(schedule.measurements.size(), 4800u);
+  // Test time stays in the tens of ms: cheap pre-bond screening.
+  EXPECT_LT(schedule.total_time_s, 0.1);
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+namespace {
+
+TEST(Matrix, BasicAccessAndClear) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1.0;
+  m.at(1, 2) = -2.0;
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 2), -2.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.clear();
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix eye = Matrix::identity(3);
+  Vector x{1.0, 2.0, 3.0};
+  Vector y = eye.multiply(x);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+  EXPECT_THROW(eye.multiply(Vector{1.0}), Error);
+}
+
+TEST(Matrix, NormAndToString) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+  EXPECT_FALSE(m.to_string().empty());
+}
+
+TEST(VectorOps, InfNormAndSubtract) {
+  EXPECT_DOUBLE_EQ(inf_norm({1.0, -5.0, 2.0}), 5.0);
+  EXPECT_DOUBLE_EQ(inf_norm({}), 0.0);
+  Vector r = subtract({3.0, 2.0}, {1.0, 5.0});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], -3.0);
+  EXPECT_THROW(subtract({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(Lu, SolvesSmallSystemExactly) {
+  // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = -1.0;
+  Vector x = lu_solve(a, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Lu, RequiresSquareMatrix) {
+  EXPECT_THROW(LuFactorization(Matrix(2, 3)), Error);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(LuFactorization{a}, ConvergenceError);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  Vector x = lu_solve(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  EXPECT_NEAR(LuFactorization(a).determinant(), 5.0, 1e-12);
+  EXPECT_NEAR(LuFactorization(Matrix::identity(5)).determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, SolveInPlaceMatchesSolve) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0; a(0, 1) = 1.0; a(0, 2) = 0.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0; a(1, 2) = 1.0;
+  a(2, 0) = 0.0; a(2, 1) = 1.0; a(2, 2) = 2.0;
+  LuFactorization lu(a);
+  Vector b{1.0, 2.0, 3.0};
+  Vector x1 = lu.solve(b);
+  Vector x2 = b;
+  lu.solve_in_place(x2);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+  EXPECT_THROW(lu.solve(Vector{1.0}), Error);
+}
+
+// Property: for random well-conditioned systems, A * solve(A, b) == b.
+class LuResidualTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuResidualTest, RandomSystemResidualIsTiny) {
+  const size_t n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+  const Vector x = lu_solve(a, b);
+  const Vector r = subtract(a.multiply(x), b);
+  EXPECT_LT(inf_norm(r), 1e-9 * (1.0 + inf_norm(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuResidualTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144));
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "stats/descriptive.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+
+TEST(MonteCarlo, GenericRunnerOrdersResults) {
+  McConfig cfg;
+  cfg.samples = 16;
+  cfg.threads = 3;
+  const std::vector<double> out =
+      run_monte_carlo(cfg, [](size_t i, Rng&) { return static_cast<double>(i); });
+  ASSERT_EQ(out.size(), 16u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], i);
+}
+
+TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
+  auto fn = [](size_t, Rng& rng) { return rng.normal(); };
+  McConfig one;
+  one.samples = 32;
+  one.threads = 1;
+  McConfig four = one;
+  four.threads = 4;
+  const auto a = run_monte_carlo(one, fn);
+  const auto b = run_monte_carlo(four, fn);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  auto fn = [](size_t, Rng& rng) { return rng.normal(); };
+  McConfig a;
+  a.samples = 8;
+  McConfig b = a;
+  b.seed = a.seed + 1;
+  const auto ra = run_monte_carlo(a, fn);
+  const auto rb = run_monte_carlo(b, fn);
+  int diffs = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i] != rb[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 8);
+}
+
+TEST(MonteCarlo, Validation) {
+  McConfig cfg;
+  cfg.samples = 0;
+  EXPECT_THROW(run_monte_carlo(cfg, [](size_t, Rng&) { return 0.0; }), ConfigError);
+  EXPECT_THROW(run_ro_monte_carlo(cfg, RoMcExperiment{}), ConfigError);
+}
+
+TEST(MonteCarlo, RoExperimentProducesSpread) {
+  RoMcExperiment exp;
+  exp.ro.num_tsvs = 2;
+  exp.vdd = 1.1;
+  exp.run = fast_run();
+
+  McConfig cfg;
+  cfg.samples = 6;
+  const RoMcResult result = run_ro_monte_carlo(cfg, exp);
+  EXPECT_EQ(result.stuck_count, 0);
+  ASSERT_EQ(result.delta_t.size(), 6u);
+  const Summary s = summarize(result.delta_t);
+  EXPECT_GT(s.mean, 0.0);
+  EXPECT_GT(s.stddev, 0.0);          // variation produces spread
+  EXPECT_LT(s.stddev, 0.5 * s.mean); // ...but dT cancellation keeps it modest
+}
+
+TEST(MonteCarlo, RoExperimentReproducible) {
+  RoMcExperiment exp;
+  exp.ro.num_tsvs = 2;
+  exp.run = fast_run();
+  McConfig cfg;
+  cfg.samples = 3;
+  const RoMcResult a = run_ro_monte_carlo(cfg, exp);
+  const RoMcResult b = run_ro_monte_carlo(cfg, exp);
+  ASSERT_EQ(a.delta_t.size(), b.delta_t.size());
+  for (size_t i = 0; i < a.delta_t.size(); ++i) EXPECT_EQ(a.delta_t[i], b.delta_t[i]);
+}
+
+TEST(MonteCarlo, StuckSamplesCounted) {
+  RoMcExperiment exp;
+  exp.ro.num_tsvs = 2;
+  exp.ro.faults = {TsvFault::leakage(300.0)};  // well below the death threshold
+  exp.run = fast_run();
+  McConfig cfg;
+  cfg.samples = 3;
+  const RoMcResult result = run_ro_monte_carlo(cfg, exp);
+  EXPECT_EQ(result.stuck_count, 3);
+  EXPECT_TRUE(result.delta_t.empty());
+}
+
+}  // namespace
+}  // namespace rotsv

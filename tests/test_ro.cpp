@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+using testutil::small_ring;
+
+TEST(RingOscillator, ConfigValidation) {
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 0;
+  EXPECT_THROW(RingOscillator{cfg}, ConfigError);
+  cfg.num_tsvs = 2;
+  cfg.vdd = -1.0;
+  EXPECT_THROW(RingOscillator{cfg}, ConfigError);
+  cfg.vdd = 1.1;
+  cfg.faults = {TsvFault::none(), TsvFault::none(), TsvFault::none()};
+  EXPECT_THROW(RingOscillator{cfg}, ConfigError);  // more faults than TSVs
+}
+
+TEST(RingOscillator, StructureBookkeeping) {
+  RingOscillator ro(small_ring());
+  EXPECT_EQ(ro.segments().size(), 2u);
+  EXPECT_EQ(ro.config().num_tsvs, 2);
+  // Two muxes per segment (14T each) + driver (8T) + receiver (4T) = 40T per
+  // segment, plus the ring inverter.
+  EXPECT_EQ(ro.circuit().mosfets().size(), 2u * 40u + 2u);
+  EXPECT_NO_THROW(ro.circuit().check_connectivity());
+}
+
+TEST(RingOscillator, BypassPatternValidation) {
+  RingOscillator ro(small_ring());
+  EXPECT_THROW(ro.set_bypass({true}), ConfigError);          // wrong size
+  EXPECT_THROW(ro.enable_only(5), ConfigError);
+  EXPECT_THROW(ro.enable_first(3), ConfigError);
+  EXPECT_NO_THROW(ro.enable_only(1));
+  EXPECT_NO_THROW(ro.enable_first(2));
+  EXPECT_NO_THROW(ro.bypass_all());
+}
+
+TEST(RingOscillator, OscillatesAtNominalVdd) {
+  RingOscillator ro(small_ring());
+  ro.enable_first(1);
+  const RoMeasurement m = measure_period(ro, fast_run());
+  ASSERT_TRUE(m.oscillating);
+  // N = 2 ring at 1.1 V: sub-ns to few-ns period, highly periodic.
+  EXPECT_GT(m.period, 100e-12);
+  EXPECT_LT(m.period, 5e-9);
+  EXPECT_LT(m.period_stddev, 0.02 * m.period);
+  EXPECT_GE(m.cycles, 3);
+}
+
+TEST(RingOscillator, BypassedRunIsFaster) {
+  RingOscillator ro(small_ring());
+  ro.enable_first(1);
+  const RoMeasurement t1 = measure_period(ro, fast_run());
+  ro.bypass_all();
+  const RoMeasurement t2 = measure_period(ro, fast_run());
+  ASSERT_TRUE(t1.oscillating);
+  ASSERT_TRUE(t2.oscillating);
+  EXPECT_GT(t1.period, t2.period);  // the TSV path adds delay
+}
+
+TEST(RingOscillator, LowerVddSlowsOscillation) {
+  RingOscillator ro(small_ring());
+  ro.enable_first(1);
+  const RoMeasurement fast = measure_period(ro, fast_run());
+  ro.set_vdd(0.85);
+  const RoMeasurement slow = measure_period(ro, fast_run());
+  ASSERT_TRUE(fast.oscillating);
+  ASSERT_TRUE(slow.oscillating);
+  EXPECT_GT(slow.period, 1.3 * fast.period);
+}
+
+TEST(RoRunner, DeltaTPositiveAndTwoRunsConsistent) {
+  RingOscillator ro(small_ring());
+  const DeltaTResult d = measure_delta_t(ro, 1, fast_run());
+  ASSERT_TRUE(d.valid);
+  EXPECT_FALSE(d.stuck);
+  EXPECT_GT(d.delta_t, 0.0);
+  EXPECT_NEAR(d.delta_t, d.t1 - d.t2, 1e-18);
+}
+
+TEST(RoRunner, OpenFaultReducesDeltaT) {
+  RingOscillator ff(small_ring());
+  const DeltaTResult d0 = measure_delta_t(ff, 1, fast_run());
+  RingOscillator open(small_ring(TsvFault::open(3000.0, 0.5)));
+  const DeltaTResult d1 = measure_delta_t(open, 1, fast_run());
+  ASSERT_TRUE(d0.valid);
+  ASSERT_TRUE(d1.valid);
+  EXPECT_LT(d1.delta_t, d0.delta_t);
+}
+
+TEST(RoRunner, FullOpenReducesDeltaTMore) {
+  RingOscillator small_open(small_ring(TsvFault::open(1000.0, 0.5)));
+  RingOscillator big_open(small_ring(TsvFault::open(50000.0, 0.5)));
+  const DeltaTResult d_small = measure_delta_t(small_open, 1, fast_run());
+  const DeltaTResult d_big = measure_delta_t(big_open, 1, fast_run());
+  ASSERT_TRUE(d_small.valid);
+  ASSERT_TRUE(d_big.valid);
+  EXPECT_LT(d_big.delta_t, d_small.delta_t);
+}
+
+TEST(RoRunner, OpenNearDriverIsMoreVisible) {
+  // x measured from the driver side: a fault near the top (small x) decouples
+  // more capacitance and reduces dT more.
+  RingOscillator near_top(small_ring(TsvFault::open(10000.0, 0.2)));
+  RingOscillator near_bottom(small_ring(TsvFault::open(10000.0, 0.8)));
+  const DeltaTResult d_top = measure_delta_t(near_top, 1, fast_run());
+  const DeltaTResult d_bot = measure_delta_t(near_bottom, 1, fast_run());
+  ASSERT_TRUE(d_top.valid);
+  ASSERT_TRUE(d_bot.valid);
+  EXPECT_LT(d_top.delta_t, d_bot.delta_t);
+}
+
+TEST(RoRunner, ModerateLeakIncreasesDeltaT) {
+  RingOscillator ff(small_ring());
+  RingOscillator leak(small_ring(TsvFault::leakage(2000.0)));
+  const DeltaTResult d0 = measure_delta_t(ff, 1, fast_run());
+  const DeltaTResult d1 = measure_delta_t(leak, 1, fast_run());
+  ASSERT_TRUE(d0.valid);
+  ASSERT_TRUE(d1.valid);
+  EXPECT_GT(d1.delta_t, d0.delta_t);
+}
+
+TEST(RoRunner, StrongLeakStopsOscillation) {
+  RingOscillator leak(small_ring(TsvFault::leakage(400.0)));
+  const DeltaTResult d = measure_delta_t(leak, 1, fast_run());
+  EXPECT_TRUE(d.stuck);
+  EXPECT_FALSE(d.valid);
+  EXPECT_GT(d.t2, 0.0);  // the reference run still oscillates
+}
+
+TEST(RoRunner, SingleMeasurementHelpers) {
+  RingOscillator ro(small_ring());
+  const DeltaTResult d = measure_delta_t_single(ro, 0, fast_run());
+  ASSERT_TRUE(d.valid);
+  EXPECT_GT(d.delta_t, 0.0);
+  EXPECT_THROW(measure_delta_t_single(ro, 7, fast_run()), ConfigError);
+  EXPECT_THROW(measure_delta_t(ro, 0, fast_run()), ConfigError);
+  EXPECT_THROW(measure_delta_t(ro, 3, fast_run()), ConfigError);
+}
+
+TEST(RoRunner, VariationIsReproducibleAndResettable) {
+  RingOscillator ro(small_ring());
+  const DeltaTResult pristine = measure_delta_t(ro, 1, fast_run());
+
+  Rng rng1(77);
+  ro.apply_variation(VariationModel::paper(), rng1);
+  const DeltaTResult varied1 = measure_delta_t(ro, 1, fast_run());
+
+  Rng rng2(77);
+  ro.apply_variation(VariationModel::paper(), rng2);
+  const DeltaTResult varied2 = measure_delta_t(ro, 1, fast_run());
+
+  // Identical seed -> identical measurement (bitwise).
+  EXPECT_EQ(varied1.delta_t, varied2.delta_t);
+  // Variation actually changed something.
+  EXPECT_NE(varied1.delta_t, pristine.delta_t);
+
+  ro.clear_variation();
+  const DeltaTResult restored = measure_delta_t(ro, 1, fast_run());
+  EXPECT_EQ(restored.delta_t, pristine.delta_t);
+}
+
+TEST(RoRunner, EnablingMoreTsvsIncreasesDeltaT) {
+  RingOscillatorConfig cfg;
+  cfg.num_tsvs = 3;
+  RingOscillator ro(cfg);
+  const DeltaTResult d1 = measure_delta_t(ro, 1, fast_run());
+  const DeltaTResult d3 = measure_delta_t(ro, 3, fast_run());
+  ASSERT_TRUE(d1.valid);
+  ASSERT_TRUE(d3.valid);
+  // Three I/O-cell+TSV paths in the loop add roughly three segment delays.
+  EXPECT_GT(d3.delta_t, 2.0 * d1.delta_t);
+}
+
+TEST(RoRunner, CaptureWaveformsRecordsRequestedNodes) {
+  RingOscillator ro(small_ring());
+  ro.enable_first(1);
+  const NodeId probe = ro.probe();
+  const NodeId tsv = ro.segments()[0].tsv_front;
+  const TransientResult r = capture_waveforms(ro, 5e-9, {probe, tsv}, fast_run());
+  EXPECT_TRUE(r.waveforms.has(probe));
+  EXPECT_TRUE(r.waveforms.has(tsv));
+  EXPECT_GT(r.waveforms.samples(), 100u);
+}
+
+}  // namespace
+}  // namespace rotsv

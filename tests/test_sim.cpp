@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/gates.hpp"
+#include "sim/measure.hpp"
+#include "sim/newton.hpp"
+#include "sim/transient.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+// --- DC analyses -----------------------------------------------------------
+
+TEST(DcOp, ResistiveDividerExact) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_voltage_source("v1", in, kGround, SourceWaveform::dc(3.0));
+  c.add_resistor("r1", in, mid, 1000.0);
+  c.add_resistor("r2", mid, kGround, 2000.0);
+  const Vector v = dc_operating_point(c);
+  // Tolerance accounts for the gmin shunt (1e-12 S) on the mid node.
+  EXPECT_NEAR(v[static_cast<size_t>(mid.value)], 2.0, 1e-6);
+  EXPECT_NEAR(v[static_cast<size_t>(in.value)], 3.0, 1e-9);
+}
+
+TEST(DcOp, CurrentSourceIntoResistor) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  // 1 mA pulled from ground into n... source convention: current flows from
+  // p to n internally, so (gnd -> n) pushes current INTO node n.
+  c.add_current_source("i1", kGround, n, SourceWaveform::dc(1e-3));
+  c.add_resistor("r1", n, kGround, 1000.0);
+  const Vector v = dc_operating_point(c);
+  EXPECT_NEAR(v[static_cast<size_t>(n.value)], 1.0, 1e-6);
+}
+
+TEST(DcOp, FloatingNodeHandledByGmin) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_voltage_source("v1", a, kGround, SourceWaveform::dc(1.0));
+  c.add_capacitor("c1", a, b, 1e-15);  // b floats at DC
+  c.add_capacitor("c2", b, kGround, 1e-15);
+  const Vector v = dc_operating_point(c);
+  EXPECT_NEAR(v[static_cast<size_t>(b.value)], 0.0, 1e-3);  // pulled by gmin
+}
+
+TEST(DcOp, InverterTransferCharacteristic) {
+  Circuit c;
+  CellContext ctx = CellContext::standard(c);
+  c.add_voltage_source("vdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& vin = c.add_voltage_source("vin", in, kGround, SourceWaveform::dc(0.0));
+  make_inverter(ctx, "inv", in, out);
+
+  double prev = 2.0;
+  for (double v = 0.0; v <= 1.1001; v += 0.1) {
+    vin.set_waveform(SourceWaveform::dc(v));
+    const Vector sol = dc_operating_point(c);
+    const double vo = sol[static_cast<size_t>(out.value)];
+    EXPECT_LE(vo, prev + 1e-6) << "VTC must be monotone falling at vin=" << v;
+    prev = vo;
+  }
+  // Rails at the extremes.
+  vin.set_waveform(SourceWaveform::dc(0.0));
+  EXPECT_NEAR(dc_operating_point(c)[static_cast<size_t>(out.value)], 1.1, 1e-3);
+  vin.set_waveform(SourceWaveform::dc(1.1));
+  EXPECT_NEAR(dc_operating_point(c)[static_cast<size_t>(out.value)], 0.0, 1e-3);
+}
+
+// --- transient -------------------------------------------------------------
+
+class RcIntegratorTest : public ::testing::TestWithParam<Integrator> {};
+
+TEST_P(RcIntegratorTest, MatchesAnalyticCharging) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::step(0.0, 1.0, 1e-9, 1e-12));
+  c.add_resistor("r", in, out, 1000.0);
+  c.add_capacitor("cl", out, kGround, 1e-12);  // tau = 1 ns
+
+  TransientOptions t;
+  t.t_stop = 6e-9;
+  t.dt_max = 20e-12;
+  t.method = GetParam();
+  const TransientResult r = run_transient(c, t);
+
+  // Backward Euler is first-order: allow a looser envelope than trapezoidal.
+  const double tol = GetParam() == Integrator::kBackwardEuler ? 8e-3 : 2e-3;
+  for (double k : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+    const double expected = 1.0 - std::exp(-k);
+    const double got = r.waveforms.sample_at(out, 1e-9 + k * 1e-9);
+    EXPECT_NEAR(got, expected, tol) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, RcIntegratorTest,
+                         ::testing::Values(Integrator::kBackwardEuler,
+                                           Integrator::kTrapezoidal));
+
+TEST(Transient, InitialConditionsRespected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r", a, kGround, 1000.0);
+  c.add_capacitor("cl", a, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 3e-9;
+  t.initial_conditions = {{a, 1.0}};
+  const TransientResult r = run_transient(c, t);
+  EXPECT_NEAR(r.waveforms.values(a).front(), 1.0, 1e-12);
+  // Discharge: v(tau) = 1/e.
+  EXPECT_NEAR(r.waveforms.sample_at(a, 1e-9), std::exp(-1.0), 2e-3);
+}
+
+TEST(Transient, RailNodesAutoInitialized) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  c.add_voltage_source("v1", vdd, kGround, SourceWaveform::dc(1.1));
+  c.add_resistor("r", vdd, kGround, 1e6);
+  TransientOptions t;
+  t.t_stop = 1e-10;
+  const TransientResult r = run_transient(c, t);
+  EXPECT_NEAR(r.waveforms.values(vdd).front(), 1.1, 1e-12);
+}
+
+TEST(Transient, RejectsNonPositiveStopTime) {
+  Circuit c;
+  c.add_resistor("r", c.node("a"), kGround, 1.0);
+  TransientOptions t;
+  t.t_stop = 0.0;
+  EXPECT_THROW(run_transient(c, t), ConfigError);
+}
+
+TEST(Transient, RecordsOnlyRequestedNodes) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_voltage_source("v", a, kGround, SourceWaveform::dc(1.0));
+  c.add_resistor("r1", a, b, 1000.0);
+  c.add_capacitor("cl", b, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 1e-9;
+  t.record = {b};
+  const TransientResult r = run_transient(c, t);
+  EXPECT_TRUE(r.waveforms.has(b));
+  EXPECT_FALSE(r.waveforms.has(a));
+  EXPECT_THROW(r.waveforms.values(a), ConfigError);
+}
+
+TEST(Transient, AdaptiveStepsConcentrateAtTransitions) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::step(0.0, 1.0, 5e-9, 1e-12));
+  c.add_resistor("r", in, out, 1000.0);
+  c.add_capacitor("cl", out, kGround, 100e-15);  // tau = 0.1 ns
+  TransientOptions t;
+  t.t_stop = 10e-9;
+  t.dt_max = 500e-12;
+  const TransientResult r = run_transient(c, t);
+  // With a 10 ns window and a 0.1 ns transition, adaptive stepping should
+  // use far fewer steps than fixed fine stepping would (10 ns / 0.5 ps).
+  EXPECT_LT(r.stats.steps_accepted, 2000u);
+  // Still accurate right after the edge.
+  EXPECT_NEAR(r.waveforms.sample_at(out, 5e-9 + 0.2301e-9), 1.0 - std::exp(-2.3), 1e-2);
+}
+
+TEST(Transient, CapacitiveDividerJump) {
+  // Series caps: a fast input step divides by C1/(C1+C2).
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_voltage_source("vin", in, kGround, SourceWaveform::step(0.0, 1.0, 1e-10, 1e-12));
+  c.add_capacitor("c1", in, mid, 2e-15);
+  c.add_capacitor("c2", mid, kGround, 1e-15);
+  TransientOptions t;
+  t.t_stop = 3e-10;
+  t.newton.gmin = 1e-15;  // keep the floating divider from drooping
+  const TransientResult r = run_transient(c, t);
+  EXPECT_NEAR(r.waveforms.sample_at(mid, 2.5e-10), 2.0 / 3.0, 0.02);
+}
+
+// --- measurements -----------------------------------------------------------
+
+TEST(Measure, ThresholdCrossingsInterpolate) {
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> v{0.0, 1.0, 0.0, 1.0, 0.0};
+  const auto rising = threshold_crossings(t, v, 0.5, Edge::kRising);
+  ASSERT_EQ(rising.size(), 2u);
+  EXPECT_NEAR(rising[0], 0.5, 1e-12);
+  EXPECT_NEAR(rising[1], 2.5, 1e-12);
+  const auto falling = threshold_crossings(t, v, 0.5, Edge::kFalling);
+  ASSERT_EQ(falling.size(), 2u);
+  EXPECT_NEAR(falling[0], 1.5, 1e-12);
+  const auto any = threshold_crossings(t, v, 0.5, Edge::kAny);
+  EXPECT_EQ(any.size(), 4u);
+}
+
+TEST(Measure, CrossingsSizeMismatchThrows) {
+  EXPECT_THROW(threshold_crossings({0.0, 1.0}, {0.0}, 0.5, Edge::kRising), ConfigError);
+}
+
+TEST(Measure, MeanInterval) {
+  EXPECT_DOUBLE_EQ(mean_interval({0.0, 1.0, 2.0, 3.0}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(mean_interval({0.0, 1.0, 2.0, 4.0}, 2), 1.5);
+  EXPECT_DOUBLE_EQ(mean_interval({1.0}, 2), 0.0);
+}
+
+TEST(Measure, OscillationOfSyntheticSquareWave) {
+  WaveformSet wf({NodeId{1}});
+  const double period = 2e-9;
+  std::vector<double> voltages(2, 0.0);
+  for (double t = 0.0; t < 20e-9; t += 0.05e-9) {
+    const double phase = std::fmod(t, period) / period;
+    voltages[1] = phase < 0.5 ? 0.0 : 1.1;
+    wf.append(t, voltages);
+  }
+  OscillationOptions opt;
+  opt.level = 0.55;
+  const OscillationMeasurement m = measure_oscillation(wf, NodeId{1}, opt);
+  EXPECT_TRUE(m.oscillating);
+  EXPECT_NEAR(m.period, period, period * 0.02);
+  EXPECT_LT(m.period_stddev, period * 0.02);
+}
+
+TEST(Measure, FlatWaveformIsNotOscillating) {
+  WaveformSet wf({NodeId{1}});
+  std::vector<double> voltages(2, 0.3);
+  for (double t = 0.0; t < 20e-9; t += 0.5e-9) wf.append(t, voltages);
+  OscillationOptions opt;
+  opt.level = 0.55;
+  EXPECT_FALSE(measure_oscillation(wf, NodeId{1}, opt).oscillating);
+}
+
+TEST(Measure, SmallSwingRejected) {
+  // Crosses the threshold but with tiny swing: treated as not oscillating.
+  WaveformSet wf({NodeId{1}});
+  std::vector<double> voltages(2, 0.0);
+  for (double t = 0.0; t < 50e-9; t += 0.1e-9) {
+    voltages[1] = 0.55 + 0.05 * std::sin(2 * M_PI * t / 2e-9);
+    wf.append(t, voltages);
+  }
+  OscillationOptions opt;
+  opt.level = 0.55;
+  EXPECT_FALSE(measure_oscillation(wf, NodeId{1}, opt).oscillating);
+}
+
+TEST(Measure, PropagationDelayBetweenShiftedWaves) {
+  WaveformSet wf({NodeId{1}, NodeId{2}});
+  std::vector<double> voltages(3, 0.0);
+  for (double t = 0.0; t < 10e-9; t += 0.01e-9) {
+    voltages[1] = t > 2e-9 ? 1.1 : 0.0;
+    voltages[2] = t > 2.5e-9 ? 1.1 : 0.0;
+    wf.append(t, voltages);
+  }
+  const double d =
+      propagation_delay(wf, NodeId{1}, NodeId{2}, 0.55, Edge::kRising, Edge::kRising);
+  EXPECT_NEAR(d, 0.5e-9, 0.02e-9);
+  // No matching output crossing -> negative sentinel.
+  const double none =
+      propagation_delay(wf, NodeId{2}, NodeId{1}, 0.55, Edge::kFalling, Edge::kFalling);
+  EXPECT_LT(none, 0.0);
+}
+
+TEST(Waveforms, SampleAtClampsAndInterpolates) {
+  WaveformSet wf({NodeId{1}});
+  wf.append(0.0, {0.0, 0.0});
+  wf.append(1.0, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(wf.sample_at(NodeId{1}, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wf.sample_at(NodeId{1}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(wf.sample_at(NodeId{1}, 2.0), 2.0);
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/classifier.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/overlap.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+namespace {
+
+TEST(Descriptive, SummaryOfKnownSample) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);  // sample sd
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Descriptive, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(summarize({1.0, 2.0, 3.0, 4.0}).median, 2.5);
+}
+
+TEST(Descriptive, SingleElement) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Descriptive, EmptyThrows) {
+  EXPECT_THROW(summarize({}), ConfigError);
+  EXPECT_THROW(percentile({}, 50.0), ConfigError);
+  EXPECT_THROW(histogram({}, 4), ConfigError);
+}
+
+TEST(Descriptive, Percentiles) {
+  const std::vector<double> v{0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.0);
+  EXPECT_THROW(percentile(v, -1.0), ConfigError);
+  EXPECT_THROW(percentile(v, 101.0), ConfigError);
+}
+
+TEST(Descriptive, HistogramCountsAll) {
+  const std::vector<double> v{0.0, 0.1, 0.5, 0.9, 1.0, 1.0};
+  const auto bins = histogram(v, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  size_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, v.size());
+  EXPECT_DOUBLE_EQ(bins.front().lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins.back().hi, 1.0);
+}
+
+TEST(Descriptive, HistogramDegenerateRange) {
+  const auto bins = histogram({2.0, 2.0, 2.0}, 3);
+  size_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, 3u);
+}
+
+// --- overlap metrics --------------------------------------------------------
+
+TEST(Overlap, DisjointRangesGiveZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{5.0, 6.0, 7.0};
+  EXPECT_DOUBLE_EQ(range_overlap(a, b), 0.0);
+  EXPECT_TRUE(fully_separated(a, b));
+  EXPECT_DOUBLE_EQ(threshold_error_rate(a, b), 0.0);
+  EXPECT_LT(gaussian_overlap(a, b), 0.2);
+}
+
+TEST(Overlap, IdenticalSamplesGiveOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(range_overlap(a, a), 1.0);
+  EXPECT_FALSE(fully_separated(a, a));
+  EXPECT_NEAR(gaussian_overlap(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(threshold_error_rate(a, a), 0.5, 0.26);  // ~half on wrong side
+}
+
+TEST(Overlap, PartialOverlapBetween) {
+  const std::vector<double> a{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 3.0, 4.0, 5.0};
+  const double o = range_overlap(a, b);
+  EXPECT_GT(o, 0.0);
+  EXPECT_LT(o, 1.0);
+  const double g = gaussian_overlap(a, b);
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(Overlap, GaussianOverlapShrinksWithSeparation) {
+  Rng rng(11);
+  std::vector<double> base;
+  for (int i = 0; i < 200; ++i) base.push_back(rng.normal(0.0, 1.0));
+  double prev = 1.1;
+  for (double shift : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    std::vector<double> moved;
+    for (double v : base) moved.push_back(v + shift);
+    const double o = gaussian_overlap(base, moved);
+    EXPECT_LT(o, prev);
+    prev = o;
+  }
+}
+
+TEST(Overlap, ThresholdErrorRateOrientationAgnostic) {
+  const std::vector<double> lo{0.0, 0.1, 0.2};
+  const std::vector<double> hi{1.0, 1.1, 1.2};
+  EXPECT_DOUBLE_EQ(threshold_error_rate(lo, hi), 0.0);
+  EXPECT_DOUBLE_EQ(threshold_error_rate(hi, lo), 0.0);
+}
+
+// --- classifier ---------------------------------------------------------------
+
+TEST(Classifier, BandFromPopulation) {
+  // Tight population around 800 ps.
+  std::vector<double> pop;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) pop.push_back(rng.normal(800e-12, 10e-12));
+  const DeltaTClassifier c = DeltaTClassifier::from_population(pop, 3.0);
+  EXPECT_LT(c.lower(), 800e-12);
+  EXPECT_GT(c.upper(), 800e-12);
+  // Calibration points themselves always pass.
+  for (double v : pop) EXPECT_EQ(c.classify(v), TsvVerdict::kPass);
+  // Far below -> open; far above -> leakage.
+  EXPECT_EQ(c.classify(600e-12), TsvVerdict::kResistiveOpen);
+  EXPECT_EQ(c.classify(1100e-12), TsvVerdict::kLeakage);
+}
+
+TEST(Classifier, ExplicitBand) {
+  const DeltaTClassifier c = DeltaTClassifier::from_band(1.0, 2.0);
+  EXPECT_EQ(c.classify(0.5), TsvVerdict::kResistiveOpen);
+  EXPECT_EQ(c.classify(1.5), TsvVerdict::kPass);
+  EXPECT_EQ(c.classify(2.5), TsvVerdict::kLeakage);
+  EXPECT_EQ(c.classify(1.0), TsvVerdict::kPass);  // boundary inclusive
+  EXPECT_EQ(c.classify(2.0), TsvVerdict::kPass);
+  EXPECT_THROW(DeltaTClassifier::from_band(2.0, 1.0), ConfigError);
+}
+
+TEST(Classifier, VerdictNames) {
+  EXPECT_STREQ(verdict_name(TsvVerdict::kPass), "pass");
+  EXPECT_STREQ(verdict_name(TsvVerdict::kResistiveOpen), "resistive-open");
+  EXPECT_STREQ(verdict_name(TsvVerdict::kLeakage), "leakage");
+  EXPECT_STREQ(verdict_name(TsvVerdict::kStuck), "stuck");
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/gates.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+#include "tsv/tsv_model.hpp"
+#include "util/error.hpp"
+
+namespace rotsv {
+namespace {
+
+TEST(Fault, Descriptors) {
+  const TsvFault none = TsvFault::none();
+  EXPECT_FALSE(none.is_fault());
+  EXPECT_EQ(none.describe(), "fault-free");
+
+  const TsvFault open = TsvFault::open(1500.0, 0.5);
+  EXPECT_TRUE(open.is_fault());
+  EXPECT_EQ(open.type, TsvFaultType::kResistiveOpen);
+  EXPECT_NE(open.describe().find("open"), std::string::npos);
+
+  const TsvFault leak = TsvFault::leakage(3000.0);
+  EXPECT_EQ(leak.type, TsvFaultType::kLeakage);
+  EXPECT_NE(leak.describe().find("leakage"), std::string::npos);
+}
+
+TEST(Fault, Validation) {
+  EXPECT_THROW(TsvFault::open(-1.0, 0.5), ConfigError);
+  EXPECT_THROW(TsvFault::open(1000.0, 1.5), ConfigError);
+  EXPECT_THROW(TsvFault::open(1000.0, -0.1), ConfigError);
+  EXPECT_THROW(TsvFault::leakage(0.0), ConfigError);
+  EXPECT_THROW(TsvFault::leakage(-10.0), ConfigError);
+}
+
+TEST(TsvModel, PaperTechnologyValues) {
+  const TsvTechnology t = TsvTechnology::paper();
+  EXPECT_DOUBLE_EQ(t.resistance_ohm, 0.1);
+  EXPECT_DOUBLE_EQ(t.capacitance_f, 59e-15);
+  EXPECT_EQ(t.segments, 1);
+}
+
+TEST(TsvModel, FaultFreeLumpedIsOneCapacitor) {
+  Circuit c;
+  const NodeId front = c.node("front");
+  attach_tsv(c, "tsv", front, TsvTechnology::paper(), TsvFault::none());
+  EXPECT_EQ(c.device_count(), 1u);
+  const auto* cap = dynamic_cast<const Capacitor*>(c.find_device("tsv.c"));
+  ASSERT_NE(cap, nullptr);
+  EXPECT_DOUBLE_EQ(cap->capacitance(), 59e-15);
+}
+
+TEST(TsvModel, OpenFaultSplitsCapacitance) {
+  Circuit c;
+  const NodeId front = c.node("front");
+  const TsvInstance inst =
+      attach_tsv(c, "tsv", front, TsvTechnology::paper(), TsvFault::open(2000.0, 0.3));
+  EXPECT_EQ(inst.internal.size(), 1u);
+  const auto* top = dynamic_cast<const Capacitor*>(c.find_device("tsv.ct"));
+  const auto* bot = dynamic_cast<const Capacitor*>(c.find_device("tsv.cb"));
+  const auto* ro = dynamic_cast<const Resistor*>(c.find_device("tsv.ro"));
+  ASSERT_NE(top, nullptr);
+  ASSERT_NE(bot, nullptr);
+  ASSERT_NE(ro, nullptr);
+  EXPECT_NEAR(top->capacitance(), 0.3 * 59e-15, 1e-20);
+  EXPECT_NEAR(bot->capacitance(), 0.7 * 59e-15, 1e-20);
+  EXPECT_DOUBLE_EQ(ro->resistance(), 2000.0);
+}
+
+TEST(TsvModel, ZeroOhmOpenDegeneratesToFaultFree) {
+  Circuit c;
+  const NodeId front = c.node("front");
+  attach_tsv(c, "tsv", front, TsvTechnology::paper(), TsvFault::open(0.0, 0.5));
+  // Both halves attach directly to the front node; total capacitance 59 fF.
+  double total = 0.0;
+  for (const auto& d : c.devices()) {
+    if (const auto* cap = dynamic_cast<const Capacitor*>(d.get())) {
+      total += cap->capacitance();
+    }
+  }
+  EXPECT_NEAR(total, 59e-15, 1e-20);
+  EXPECT_EQ(c.find_device("tsv.ro"), nullptr);
+}
+
+TEST(TsvModel, LeakageAddsParallelResistor) {
+  Circuit c;
+  const NodeId front = c.node("front");
+  attach_tsv(c, "tsv", front, TsvTechnology::paper(), TsvFault::leakage(1234.0));
+  const auto* rl = dynamic_cast<const Resistor*>(c.find_device("tsv.rl"));
+  ASSERT_NE(rl, nullptr);
+  EXPECT_DOUBLE_EQ(rl->resistance(), 1234.0);
+}
+
+TEST(TsvModel, SegmentedLadderPreservesTotals) {
+  Circuit c;
+  TsvTechnology tech = TsvTechnology::paper();
+  tech.segments = 8;
+  const NodeId front = c.node("front");
+  const TsvInstance inst = attach_tsv(c, "tsv", front, tech, TsvFault::none());
+  EXPECT_EQ(inst.internal.size(), 8u);
+  double total_c = 0.0;
+  double total_r = 0.0;
+  for (const auto& d : c.devices()) {
+    if (const auto* cap = dynamic_cast<const Capacitor*>(d.get())) {
+      total_c += cap->capacitance();
+    } else if (const auto* res = dynamic_cast<const Resistor*>(d.get())) {
+      total_r += res->resistance();
+    }
+  }
+  EXPECT_NEAR(total_c, 59e-15, 1e-20);
+  EXPECT_NEAR(total_r, 0.1, 1e-12);
+}
+
+TEST(TsvModel, SegmentedValidation) {
+  Circuit c;
+  TsvTechnology tech;
+  tech.segments = 0;
+  EXPECT_THROW(attach_tsv(c, "t", c.node("f"), tech, TsvFault::none()), ConfigError);
+  tech.segments = 1;
+  tech.capacitance_f = 0.0;
+  EXPECT_THROW(attach_tsv(c, "t", c.node("f"), tech, TsvFault::none()), ConfigError);
+}
+
+// The paper's own model-validation experiment (Sec. III-A): a lumped 59 fF
+// capacitor and an 8-segment RC ladder (R = 0.1 Ohm total) driven by an X4
+// buffer show no measurable difference in their charge curves.
+TEST(TsvModel, LumpedVsSegmentedChargeCurves) {
+  auto charge_curve = [](int segments) {
+    Circuit c;
+    CellContext ctx = CellContext::standard(c);
+    c.add_voltage_source("vvdd", ctx.vdd, kGround, SourceWaveform::dc(1.1));
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add_voltage_source("vin", in, kGround, SourceWaveform::step(0.0, 1.1, 0.2e-9, 20e-12));
+    make_buffer(ctx, "drv", in, out, 4);
+    TsvTechnology tech = TsvTechnology::paper();
+    tech.segments = segments;
+    attach_tsv(c, "tsv", out, tech, TsvFault::none());
+    TransientOptions t;
+    t.t_stop = 1.5e-9;
+    t.record = {in, out};
+    const TransientResult r = run_transient(c, t);
+    return propagation_delay(r.waveforms, in, out, 0.55, Edge::kRising, Edge::kRising);
+  };
+  const double lumped = charge_curve(1);
+  const double ladder = charge_curve(8);
+  ASSERT_GT(lumped, 0.0);
+  ASSERT_GT(ladder, 0.0);
+  // "no measurable difference": under 1 ps here.
+  EXPECT_NEAR(lumped, ladder, 1e-12);
+}
+
+TEST(TsvModel, SegmentedOpenPlacesFaultNearPosition) {
+  Circuit c;
+  TsvTechnology tech = TsvTechnology::paper();
+  tech.segments = 4;
+  attach_tsv(c, "tsv", c.node("front"), tech, TsvFault::open(1000.0, 0.5));
+  EXPECT_NE(c.find_device("tsv.ro"), nullptr);
+}
+
+TEST(TsvModel, SegmentedLeakAttaches) {
+  Circuit c;
+  TsvTechnology tech = TsvTechnology::paper();
+  tech.segments = 4;
+  attach_tsv(c, "tsv", c.node("front"), tech, TsvFault::leakage(2000.0));
+  const auto* rl = dynamic_cast<const Resistor*>(c.find_device("tsv.rl"));
+  ASSERT_NE(rl, nullptr);
+  EXPECT_DOUBLE_EQ(rl->resistance(), 2000.0);
+}
+
+}  // namespace
+}  // namespace rotsv

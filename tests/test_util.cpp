@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rotsv {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+  const auto parts = split("a  b\tc", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split("", " ").empty());
+  EXPECT_TRUE(split("   ", " ").empty());
+}
+
+TEST(Strings, StartsWithAndIequals) {
+  EXPECT_TRUE(starts_with("pulse(0 1)", "pulse("));
+  EXPECT_FALSE(starts_with("pul", "pulse"));
+  EXPECT_TRUE(iequals("NMOS", "nmos"));
+  EXPECT_FALSE(iequals("nmos", "pmos"));
+  EXPECT_FALSE(iequals("nmos", "nmo"));
+}
+
+TEST(Strings, FormatProducesPrintfOutput) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 1.0 / 3.0), "0.33");
+}
+
+struct SpiceNumberCase {
+  const char* text;
+  double expected;
+};
+
+class SpiceNumberTest : public ::testing::TestWithParam<SpiceNumberCase> {};
+
+TEST_P(SpiceNumberTest, ParsesEngineeringSuffix) {
+  double v = 0.0;
+  ASSERT_TRUE(parse_spice_number(GetParam().text, &v)) << GetParam().text;
+  EXPECT_NEAR(v, GetParam().expected, std::fabs(GetParam().expected) * 1e-12 + 1e-30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suffixes, SpiceNumberTest,
+    ::testing::Values(SpiceNumberCase{"1.5k", 1.5e3}, SpiceNumberCase{"59f", 59e-15},
+                      SpiceNumberCase{"10meg", 1e7}, SpiceNumberCase{"2u", 2e-6},
+                      SpiceNumberCase{"3n", 3e-9}, SpiceNumberCase{"7p", 7e-12},
+                      SpiceNumberCase{"-4m", -4e-3}, SpiceNumberCase{"1.1", 1.1},
+                      SpiceNumberCase{"2e3", 2e3}, SpiceNumberCase{"5T", 5e12},
+                      SpiceNumberCase{"6G", 6e9}, SpiceNumberCase{"10pF", 10e-12},
+                      SpiceNumberCase{"0.1a", 0.1e-18}, SpiceNumberCase{"3k3", 3e3}));
+
+TEST(SpiceNumber, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_spice_number("", &v));
+  EXPECT_FALSE(parse_spice_number("abc", &v));
+  EXPECT_FALSE(parse_spice_number("1.5q", &v));
+}
+
+TEST(FormatTime, PicksAdaptiveUnit) {
+  EXPECT_EQ(format_time(2.5e-9), "2.5ns");
+  EXPECT_EQ(format_time(1.5e-12), "1.5ps");
+  EXPECT_EQ(format_time(3e-6), "3us");
+  EXPECT_EQ(format_time(0.0), "0s");
+}
+
+TEST(Error, RequireThrowsConfigError) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), ConfigError);
+}
+
+TEST(Error, ParseErrorCarriesLine) {
+  ParseError e("boom", 17);
+  EXPECT_EQ(e.line(), 17);
+  EXPECT_NE(std::string(e.what()).find("17"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkGivesIndependentStreams) {
+  Rng a = Rng::fork(42, 0);
+  Rng b = Rng::fork(42, 1);
+  Rng a2 = Rng::fork(42, 0);
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(99);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(5);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::parallel_for(64, [&](size_t i) { hits[i]++; }, 3);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  EXPECT_THROW(ThreadPool::parallel_for(
+                   8, [&](size_t i) { if (i == 5) throw Error("boom"); }, 2),
+               Error);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "rotsv_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({1.0, 2.5});
+    csv.row_strings({"x", "y"});
+    EXPECT_THROW(csv.row({1.0}), Error);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_EQ(std::string(buf), "a,b\n");
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_EQ(std::string(buf), "1,2.5\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}), Error);
+}
+
+TEST(AsciiChart, RendersSeries) {
+  Series s;
+  s.label = "line";
+  s.glyph = '*';
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  ChartOptions opt;
+  opt.title = "squares";
+  opt.x_label = "x";
+  const std::string chart = render_chart({s}, opt);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("squares"), std::string::npos);
+  EXPECT_NE(chart.find("line"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyDataSafe) {
+  EXPECT_EQ(render_chart({}, {}), "(no data)");
+  Series s;
+  s.x = {std::nan("")};
+  s.y = {1.0};
+  EXPECT_EQ(render_chart({s}, {}), "(no data)");
+}
+
+TEST(AsciiChart, LogXSkipsNonPositive) {
+  Series s;
+  s.x = {-1.0, 0.0, 10.0, 100.0, 1000.0};
+  s.y = {1.0, 2.0, 3.0, 4.0, 5.0};
+  ChartOptions opt;
+  opt.log_x = true;
+  const std::string chart = render_chart({s}, opt);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rotsv
