@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_subtraction.dir/abl_subtraction.cpp.o"
+  "CMakeFiles/abl_subtraction.dir/abl_subtraction.cpp.o.d"
+  "abl_subtraction"
+  "abl_subtraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_subtraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tsv_model_validation.dir/fig02_tsv_model_validation.cpp.o"
+  "CMakeFiles/fig02_tsv_model_validation.dir/fig02_tsv_model_validation.cpp.o.d"
+  "fig02_tsv_model_validation"
+  "fig02_tsv_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tsv_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

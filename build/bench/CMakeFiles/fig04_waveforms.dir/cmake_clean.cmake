@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_waveforms.dir/fig04_waveforms.cpp.o"
+  "CMakeFiles/fig04_waveforms.dir/fig04_waveforms.cpp.o.d"
+  "fig04_waveforms"
+  "fig04_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

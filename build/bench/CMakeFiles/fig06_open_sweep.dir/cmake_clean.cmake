@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_open_sweep.dir/fig06_open_sweep.cpp.o"
+  "CMakeFiles/fig06_open_sweep.dir/fig06_open_sweep.cpp.o.d"
+  "fig06_open_sweep"
+  "fig06_open_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_open_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_leak_mc_voltage.dir/fig09_leak_mc_voltage.cpp.o"
+  "CMakeFiles/fig09_leak_mc_voltage.dir/fig09_leak_mc_voltage.cpp.o.d"
+  "fig09_leak_mc_voltage"
+  "fig09_leak_mc_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_leak_mc_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_parallel_m.dir/fig10_parallel_m.cpp.o"
+  "CMakeFiles/fig10_parallel_m.dir/fig10_parallel_m.cpp.o.d"
+  "fig10_parallel_m"
+  "fig10_parallel_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_parallel_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

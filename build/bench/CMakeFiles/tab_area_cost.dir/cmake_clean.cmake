@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_area_cost.dir/tab_area_cost.cpp.o"
+  "CMakeFiles/tab_area_cost.dir/tab_area_cost.cpp.o.d"
+  "tab_area_cost"
+  "tab_area_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_area_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_selection.dir/voltage_selection.cpp.o"
+  "CMakeFiles/voltage_selection.dir/voltage_selection.cpp.o.d"
+  "voltage_selection"
+  "voltage_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafer_screening.dir/wafer_screening.cpp.o"
+  "CMakeFiles/wafer_screening.dir/wafer_screening.cpp.o.d"
+  "wafer_screening"
+  "wafer_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafer_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

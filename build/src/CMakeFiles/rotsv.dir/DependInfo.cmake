@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/cell_library.cpp" "src/CMakeFiles/rotsv.dir/cells/cell_library.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/cells/cell_library.cpp.o.d"
+  "/root/repo/src/cells/gates.cpp" "src/CMakeFiles/rotsv.dir/cells/gates.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/cells/gates.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/rotsv.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/device.cpp" "src/CMakeFiles/rotsv.dir/circuit/device.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/circuit/device.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/CMakeFiles/rotsv.dir/circuit/mosfet.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/circuit/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/node.cpp" "src/CMakeFiles/rotsv.dir/circuit/node.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/circuit/node.cpp.o.d"
+  "/root/repo/src/circuit/passive.cpp" "src/CMakeFiles/rotsv.dir/circuit/passive.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/circuit/passive.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/CMakeFiles/rotsv.dir/circuit/sources.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/circuit/sources.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/rotsv.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/rotsv.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/tester.cpp" "src/CMakeFiles/rotsv.dir/core/tester.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/core/tester.cpp.o.d"
+  "/root/repo/src/dft/architecture.cpp" "src/CMakeFiles/rotsv.dir/dft/architecture.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/dft/architecture.cpp.o.d"
+  "/root/repo/src/dft/area.cpp" "src/CMakeFiles/rotsv.dir/dft/area.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/dft/area.cpp.o.d"
+  "/root/repo/src/dft/scheduler.cpp" "src/CMakeFiles/rotsv.dir/dft/scheduler.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/dft/scheduler.cpp.o.d"
+  "/root/repo/src/digital/counter.cpp" "src/CMakeFiles/rotsv.dir/digital/counter.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/digital/counter.cpp.o.d"
+  "/root/repo/src/digital/lfsr.cpp" "src/CMakeFiles/rotsv.dir/digital/lfsr.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/digital/lfsr.cpp.o.d"
+  "/root/repo/src/digital/logic_sim.cpp" "src/CMakeFiles/rotsv.dir/digital/logic_sim.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/digital/logic_sim.cpp.o.d"
+  "/root/repo/src/digital/period_meter.cpp" "src/CMakeFiles/rotsv.dir/digital/period_meter.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/digital/period_meter.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/rotsv.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/rotsv.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/mc/monte_carlo.cpp" "src/CMakeFiles/rotsv.dir/mc/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/mc/monte_carlo.cpp.o.d"
+  "/root/repo/src/models/ekv.cpp" "src/CMakeFiles/rotsv.dir/models/ekv.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/models/ekv.cpp.o.d"
+  "/root/repo/src/models/ptm45.cpp" "src/CMakeFiles/rotsv.dir/models/ptm45.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/models/ptm45.cpp.o.d"
+  "/root/repo/src/models/variation.cpp" "src/CMakeFiles/rotsv.dir/models/variation.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/models/variation.cpp.o.d"
+  "/root/repo/src/ro/ring_oscillator.cpp" "src/CMakeFiles/rotsv.dir/ro/ring_oscillator.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/ro/ring_oscillator.cpp.o.d"
+  "/root/repo/src/ro/ro_runner.cpp" "src/CMakeFiles/rotsv.dir/ro/ro_runner.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/ro/ro_runner.cpp.o.d"
+  "/root/repo/src/ro/segment.cpp" "src/CMakeFiles/rotsv.dir/ro/segment.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/ro/segment.cpp.o.d"
+  "/root/repo/src/sim/dc_sweep.cpp" "src/CMakeFiles/rotsv.dir/sim/dc_sweep.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/sim/dc_sweep.cpp.o.d"
+  "/root/repo/src/sim/measure.cpp" "src/CMakeFiles/rotsv.dir/sim/measure.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/sim/measure.cpp.o.d"
+  "/root/repo/src/sim/mna.cpp" "src/CMakeFiles/rotsv.dir/sim/mna.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/sim/mna.cpp.o.d"
+  "/root/repo/src/sim/newton.cpp" "src/CMakeFiles/rotsv.dir/sim/newton.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/sim/newton.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/CMakeFiles/rotsv.dir/sim/transient.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/sim/transient.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/CMakeFiles/rotsv.dir/sim/waveform.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/sim/waveform.cpp.o.d"
+  "/root/repo/src/spice/lexer.cpp" "src/CMakeFiles/rotsv.dir/spice/lexer.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/spice/lexer.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/CMakeFiles/rotsv.dir/spice/parser.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/spice/parser.cpp.o.d"
+  "/root/repo/src/stats/classifier.cpp" "src/CMakeFiles/rotsv.dir/stats/classifier.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/stats/classifier.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/rotsv.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/overlap.cpp" "src/CMakeFiles/rotsv.dir/stats/overlap.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/stats/overlap.cpp.o.d"
+  "/root/repo/src/tsv/fault.cpp" "src/CMakeFiles/rotsv.dir/tsv/fault.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/tsv/fault.cpp.o.d"
+  "/root/repo/src/tsv/tsv_model.cpp" "src/CMakeFiles/rotsv.dir/tsv/tsv_model.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/tsv/tsv_model.cpp.o.d"
+  "/root/repo/src/util/ascii_chart.cpp" "src/CMakeFiles/rotsv.dir/util/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/rotsv.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/rotsv.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rotsv.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/rotsv.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/rotsv.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rotsv.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

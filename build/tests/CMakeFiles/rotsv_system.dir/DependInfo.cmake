@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/rotsv_system.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/rotsv_system.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/rotsv_system.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/rotsv_system.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_diagnosis.cpp" "tests/CMakeFiles/rotsv_system.dir/test_diagnosis.cpp.o" "gcc" "tests/CMakeFiles/rotsv_system.dir/test_diagnosis.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rotsv_system.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rotsv_system.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mc.cpp" "tests/CMakeFiles/rotsv_system.dir/test_mc.cpp.o" "gcc" "tests/CMakeFiles/rotsv_system.dir/test_mc.cpp.o.d"
+  "/root/repo/tests/test_ro.cpp" "tests/CMakeFiles/rotsv_system.dir/test_ro.cpp.o" "gcc" "tests/CMakeFiles/rotsv_system.dir/test_ro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rotsv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

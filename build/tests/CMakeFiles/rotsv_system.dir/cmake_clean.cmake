@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotsv_system.dir/test_calibration.cpp.o"
+  "CMakeFiles/rotsv_system.dir/test_calibration.cpp.o.d"
+  "CMakeFiles/rotsv_system.dir/test_core.cpp.o"
+  "CMakeFiles/rotsv_system.dir/test_core.cpp.o.d"
+  "CMakeFiles/rotsv_system.dir/test_diagnosis.cpp.o"
+  "CMakeFiles/rotsv_system.dir/test_diagnosis.cpp.o.d"
+  "CMakeFiles/rotsv_system.dir/test_integration.cpp.o"
+  "CMakeFiles/rotsv_system.dir/test_integration.cpp.o.d"
+  "CMakeFiles/rotsv_system.dir/test_mc.cpp.o"
+  "CMakeFiles/rotsv_system.dir/test_mc.cpp.o.d"
+  "CMakeFiles/rotsv_system.dir/test_ro.cpp.o"
+  "CMakeFiles/rotsv_system.dir/test_ro.cpp.o.d"
+  "rotsv_system"
+  "rotsv_system.pdb"
+  "rotsv_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotsv_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cells.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_cells.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_cells.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_dft.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_dft.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_dft.cpp.o.d"
+  "/root/repo/tests/test_digital.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_digital.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_digital.cpp.o.d"
+  "/root/repo/tests/test_ekv.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_ekv.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_ekv.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_spice.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_spice.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_spice.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tsv.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_tsv.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_tsv.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/rotsv_unit.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/rotsv_unit.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rotsv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotsv_unit.dir/test_cells.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_cells.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_circuit.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_circuit.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_dft.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_dft.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_digital.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_digital.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_ekv.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_ekv.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_linalg.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_linalg.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_sim.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_sim.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_spice.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_spice.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_stats.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_stats.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_tsv.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_tsv.cpp.o.d"
+  "CMakeFiles/rotsv_unit.dir/test_util.cpp.o"
+  "CMakeFiles/rotsv_unit.dir/test_util.cpp.o.d"
+  "rotsv_unit"
+  "rotsv_unit.pdb"
+  "rotsv_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotsv_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
