@@ -1,0 +1,98 @@
+// Campaign throughput baseline: dice/sec of the sharded screening executor
+// at 1, 2, 4 and 8 worker threads on one small lot, emitted as
+// BENCH_campaign.json so later performance PRs have a reference point.
+//
+// The per-die work (two transient RO simulations per voltage point) is
+// embarrassingly parallel and calibration is shared, so the scaling ceiling
+// is the machine's core count; the JSON records hardware_concurrency so a
+// reading from a 1-core CI box is not mistaken for a scaling regression.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "campaign/campaign.hpp"
+
+using namespace rotsv;
+using namespace rotsv::benchutil;
+
+int main() {
+  banner("campaign_throughput: sharded wafer screening, dice/sec vs threads");
+
+  CampaignSpec spec;
+  spec.lot_id = "bench";
+  spec.wafers = 1;
+  const int grid = fast_mode() ? 4 : 6;
+  spec.rows = grid;
+  spec.cols = grid;
+  spec.tester.group_size = 2;
+  spec.tester.voltages = {1.1};
+  spec.tester.run = run_options(1.1);
+  spec.mix.open_rate = 0.1;
+  spec.mix.leak_rate = 0.1;
+  spec.seed = 20130318;
+
+  // Calibrate once outside the timed region and share the band across every
+  // thread-count run (exactly what the executor does for real campaigns).
+  {
+    RingOscillatorConfig ring;
+    ring.num_tsvs = spec.tester.group_size;
+    RingOscillator ro(ring);
+    const DeltaTResult nominal = measure_delta_t(ro, 1, spec.tester.run);
+    spec.preset_bands = {{nominal.delta_t - 80e-12, nominal.delta_t + 80e-12}};
+  }
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<ThroughputStats> stats;
+  std::string reference_report;
+  std::printf("lot: %d dice, %zu voltage(s), hardware threads: %u\n\n",
+              spec.total_dice(), spec.tester.voltages.size(),
+              std::thread::hardware_concurrency());
+
+  for (size_t threads : thread_counts) {
+    spec.threads = threads;
+    const CampaignReport report = run_campaign(spec);
+    stats.push_back(report.throughput);
+    std::printf("  %zu thread(s): %6.2f dice/s  (%.2fs, %.3g sim-steps/s)\n",
+                threads, report.throughput.dice_per_second(),
+                report.throughput.screening_seconds,
+                report.throughput.steps_per_second());
+    // The executor guarantees thread-count-independent results; cheap check.
+    if (reference_report.empty()) {
+      reference_report = report.aggregate.describe();
+    } else if (reference_report != report.aggregate.describe()) {
+      std::printf("FAIL: results differ across thread counts\n");
+      return 1;
+    }
+  }
+
+  const double speedup_1_to_4 =
+      stats[0].screening_seconds > 0.0 && stats[2].screening_seconds > 0.0
+          ? stats[0].screening_seconds / stats[2].screening_seconds
+          : 0.0;
+  std::printf("\n1 -> 4 thread speedup: %.2fx (results identical: PASS)\n",
+              speedup_1_to_4);
+
+  const std::string json_path = out_path("BENCH_campaign.json");
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"campaign_throughput\",\n";
+  json << format("  \"dice\": %d,\n", spec.total_dice());
+  json << format("  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+  json << "  \"results\": [\n";
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    json << format(
+        "    {\"threads\": %zu, \"seconds\": %.4f, \"dice_per_sec\": %.4f, "
+        "\"steps_per_sec\": %.1f}%s\n",
+        thread_counts[i], stats[i].screening_seconds,
+        stats[i].dice_per_second(), stats[i].steps_per_second(),
+        i + 1 < thread_counts.size() ? "," : "");
+  }
+  json << "  ],\n";
+  json << format("  \"speedup_1_to_4\": %.3f\n}\n", speedup_1_to_4);
+  json.close();
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

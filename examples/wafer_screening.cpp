@@ -1,79 +1,71 @@
-// Wafer screening: the paper's motivating scenario. A lot of dice comes off
-// the line with a realistic defect mix (fault-free, micro-voids of random
-// size/position, pinhole leaks of random strength); each die is screened
-// with the full PreBondTsvTester flow (calibration, multi-voltage dT
-// measurement through the on-chip counter, classification) and the known
+// Wafer screening: the paper's motivating scenario, now on the campaign
+// engine (src/campaign/). A small lot comes off the line with a realistic
+// defect mix (micro-voids and pinholes of log-uniform severity, denser
+// toward the wafer edge); the engine calibrates the multi-voltage tester
+// once, shards the per-die screenings across the thread pool, and the known
 // ground truth grades the screen: catches, escapes, overkill.
+//
+// The production driver for big lots (checkpointed JSONL log, --resume) is
+// tools/rotsv_campaign; this demo runs the same engine in-memory.
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "core/tester.hpp"
+#include "campaign/campaign.hpp"
 #include "util/strings.hpp"
 
 using namespace rotsv;
 
-namespace {
-
-struct DieUnderTest {
-  std::string label;
-  TsvFault fault;
-  bool defective;
-};
-
-}  // namespace
-
 int main() {
-  // Tester configured for a quick demo: a 2-TSV group and two voltage
-  // levels (high for opens, low for leaks).
-  TesterConfig config;
-  config.group_size = 2;
-  config.voltages = {1.1, 0.95};
-  config.calibration_samples = 4;
-  config.guard_band_sigma = 4.0;
-  config.run.first_window = 60e-9;
+  // A quick-demo lot: one 4x4 wafer (12 populated dice), 2-TSV groups, and
+  // the paper's two-sided voltage plan (high VDD for opens, low for leaks).
+  CampaignSpec spec;
+  spec.lot_id = "demo";
+  spec.wafers = 1;
+  spec.rows = 4;
+  spec.cols = 4;
+  spec.tester.group_size = 2;
+  spec.tester.voltages = {1.1, 0.95};
+  spec.tester.calibration_samples = 4;
+  spec.tester.guard_band_sigma = 4.0;
+  spec.tester.run.first_window = 60e-9;
+  // Strong, clearly screenable defects so the demo's expected outcome is a
+  // clean catch; rotsv_campaign exposes the full mix on the command line.
+  spec.mix.open_rate = 0.15;
+  spec.mix.leak_rate = 0.15;
+  spec.mix.open_r_min = 1e4;
+  spec.mix.open_r_max = 1e6;
+  spec.mix.leak_r_min = 400.0;
+  spec.mix.leak_r_max = 2e3;
+  spec.mix.edge_bias = 1.0;
+  spec.seed = 7;
 
   std::printf("calibrating fault-free dT bands (%d dice x %zu voltages)...\n",
-              config.calibration_samples, config.voltages.size());
-  PreBondTsvTester tester(config);
-  tester.calibrate();
-  for (size_t vi = 0; vi < config.voltages.size(); ++vi) {
-    std::printf("  %.2f V band: [%s, %s]\n", config.voltages[vi],
-                format_time(tester.classifier(vi).lower()).c_str(),
-                format_time(tester.classifier(vi).upper()).c_str());
-  }
+              spec.tester.calibration_samples, spec.tester.voltages.size());
 
-  // The incoming lot (ground truth known only to the fab gods).
-  Rng defect_rng(7);
-  std::vector<DieUnderTest> lot = {
-      {"good die A", TsvFault::none(), false},
-      {"good die B", TsvFault::none(), false},
-      {"void, full open", TsvFault::open(1e6, defect_rng.uniform(0.2, 0.5)), true},
-      {"void, 2 kOhm", TsvFault::open(2000.0, 0.4), true},
-      {"pinhole, strong (0.5 kOhm)", TsvFault::leakage(500.0), true},
-      {"pinhole, moderate (2 kOhm)", TsvFault::leakage(2000.0), true},
+  CampaignRunOptions options;
+  options.progress = [](const DieResult& die, int done, int total) {
+    std::printf("  [%2d/%2d] die (%d,%d) -> %-14s (truth: %s)\n", done, total,
+                die.row, die.col, verdict_name(die.verdict),
+                die.defective ? "defective" : "clean");
   };
 
-  int catches = 0;
-  int escapes = 0;
-  int overkill = 0;
-  Rng rng(1234);
-  std::printf("\nscreening %zu dice:\n", lot.size());
-  for (const DieUnderTest& die : lot) {
-    const TestReport report = tester.test_die_tsv(die.fault, rng);
-    const bool flagged = report.verdict != TsvVerdict::kPass;
-    if (die.defective && flagged) ++catches;
-    if (die.defective && !flagged) ++escapes;
-    if (!die.defective && flagged) ++overkill;
-    std::printf("  %-28s -> %-14s (truth: %s)\n", die.label.c_str(),
-                verdict_name(report.verdict), die.fault.describe().c_str());
+  const CampaignReport report = run_campaign(spec, options);
+
+  std::printf("\ncalibrated bands:\n");
+  for (size_t vi = 0; vi < report.bands.size(); ++vi) {
+    std::printf("  %.2f V: [%s, %s]\n", spec.tester.voltages[vi],
+                format_time(report.bands[vi].first).c_str(),
+                format_time(report.bands[vi].second).c_str());
   }
 
+  std::printf("\n%s", report.aggregate.describe().c_str());
+  std::printf("%s", report.throughput.describe().c_str());
+
+  const ScreenQuality& q = report.aggregate.quality;
   std::printf("\nlot summary: %d/%d defects caught, %d escapes, %d overkill\n",
-              catches, 4, escapes, overkill);
-  std::printf("%s\n", escapes == 0 && overkill == 0
+              q.caught, q.defective, q.escapes, q.overkill);
+  std::printf("%s\n", q.escapes == 0 && q.overkill == 0
                           ? "screen PASSED: every known-good die shipped, every "
                             "defect screened pre-bond"
                           : "screen imperfect -- tune guard bands / voltages");
-  return escapes == 0 ? 0 : 1;
+  return q.escapes == 0 ? 0 : 1;
 }

@@ -1,0 +1,149 @@
+#include "campaign/aggregate.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+/// True when a verdict names the same fault class as the ground truth
+/// (stuck counts as leakage: it is the strong-leak end of the same defect).
+bool verdict_matches_truth(TsvVerdict v, TsvFaultType t) {
+  switch (t) {
+    case TsvFaultType::kNone: return v == TsvVerdict::kPass;
+    case TsvFaultType::kResistiveOpen: return v == TsvVerdict::kResistiveOpen;
+    case TsvFaultType::kLeakage:
+      return v == TsvVerdict::kLeakage || v == TsvVerdict::kStuck;
+  }
+  return false;
+}
+
+}  // namespace
+
+void VerdictBins::add(TsvVerdict v) {
+  switch (v) {
+    case TsvVerdict::kPass: ++pass; break;
+    case TsvVerdict::kResistiveOpen: ++open; break;
+    case TsvVerdict::kLeakage: ++leak; break;
+    case TsvVerdict::kStuck: ++stuck; break;
+  }
+}
+
+double ScreenQuality::escape_rate() const {
+  return defective > 0 ? static_cast<double>(escapes) / defective : 0.0;
+}
+
+double ScreenQuality::overkill_rate() const {
+  return clean > 0 ? static_cast<double>(overkill) / clean : 0.0;
+}
+
+std::string WaferMap::render() const {
+  std::string out = format("wafer %d (%dx%d):\n", wafer, rows, cols);
+  for (const std::string& row : grid) {
+    out += "  ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ' ';
+      out += row[c];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CampaignAggregate::describe() const {
+  std::string out;
+  for (const WaferMap& map : wafer_maps) out += map.render();
+  out += format("screened %d/%d dice\n", screened_dice, total_dice);
+  out += format("die bins:  pass=%d open=%d leak=%d stuck=%d\n", die_bins.pass,
+                die_bins.open, die_bins.leak, die_bins.stuck);
+  out += format("tsv bins:  pass=%d open=%d leak=%d stuck=%d\n", tsv_bins.pass,
+                tsv_bins.open, tsv_bins.leak, tsv_bins.stuck);
+  out += format("truth:     defective=%d clean=%d\n", quality.defective,
+                quality.clean);
+  out += format(
+      "screen:    caught=%d escapes=%d (%.2f%%) overkill=%d (%.2f%%) "
+      "misclassified=%d\n",
+      quality.caught, quality.escapes, 100.0 * quality.escape_rate(),
+      quality.overkill, 100.0 * quality.overkill_rate(), quality.misclassified);
+  out += format("sim steps: %llu\n", static_cast<unsigned long long>(sim_steps));
+  return out;
+}
+
+double ThroughputStats::dice_per_second() const {
+  return screening_seconds > 0.0 ? dice_screened / screening_seconds : 0.0;
+}
+
+double ThroughputStats::steps_per_second() const {
+  return screening_seconds > 0.0 ? sim_steps / screening_seconds : 0.0;
+}
+
+std::string ThroughputStats::describe() const {
+  return format(
+      "throughput: %d dice in %.2fs (%.2f dice/s, %.3g sim-steps/s, %zu "
+      "threads; calibration %.2fs)\n",
+      dice_screened, screening_seconds, dice_per_second(), steps_per_second(),
+      threads, calibration_seconds);
+}
+
+CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
+                                     const std::vector<DieResult>& results) {
+  CampaignAggregate agg;
+  agg.total_dice = spec.total_dice();
+  agg.wafer_maps.reserve(static_cast<size_t>(spec.wafers));
+  for (int w = 0; w < spec.wafers; ++w) {
+    WaferMap map;
+    map.wafer = w;
+    map.rows = spec.rows;
+    map.cols = spec.cols;
+    for (int r = 0; r < spec.rows; ++r) {
+      std::string row(static_cast<size_t>(spec.cols), '.');
+      for (int c = 0; c < spec.cols; ++c) {
+        if (spec.die_present(r, c)) row[static_cast<size_t>(c)] = '?';
+      }
+      map.grid.push_back(std::move(row));
+    }
+    agg.wafer_maps.push_back(std::move(map));
+  }
+
+  for (const DieResult& die : results) {
+    require(die.wafer >= 0 && die.wafer < spec.wafers &&
+                die.row >= 0 && die.row < spec.rows &&
+                die.col >= 0 && die.col < spec.cols,
+            "aggregate: die result outside the campaign grid");
+    ++agg.screened_dice;
+    agg.sim_steps += die.sim_steps;
+    agg.die_bins.add(die.verdict);
+    agg.wafer_maps[static_cast<size_t>(die.wafer)]
+        .grid[static_cast<size_t>(die.row)][static_cast<size_t>(die.col)] =
+        verdict_code(die.verdict);
+
+    for (char code : die.tsv_verdicts) {
+      switch (code) {
+        case 'P': agg.tsv_bins.add(TsvVerdict::kPass); break;
+        case 'O': agg.tsv_bins.add(TsvVerdict::kResistiveOpen); break;
+        case 'L': agg.tsv_bins.add(TsvVerdict::kLeakage); break;
+        case 'S': agg.tsv_bins.add(TsvVerdict::kStuck); break;
+        default: throw ConfigError("aggregate: bad per-TSV verdict code");
+      }
+    }
+
+    const bool flagged = die.verdict != TsvVerdict::kPass;
+    if (die.defective) {
+      ++agg.quality.defective;
+      if (flagged) {
+        ++agg.quality.caught;
+        if (!verdict_matches_truth(die.verdict, die.truth)) {
+          ++agg.quality.misclassified;
+        }
+      } else {
+        ++agg.quality.escapes;
+      }
+    } else {
+      ++agg.quality.clean;
+      if (flagged) ++agg.quality.overkill;
+    }
+  }
+  return agg;
+}
+
+}  // namespace rotsv

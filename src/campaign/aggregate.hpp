@@ -1,0 +1,81 @@
+// Campaign aggregation: wafer maps, verdict bins, screen quality against
+// ground truth, and throughput.
+//
+// Everything in CampaignAggregate and its describe() string is a pure
+// function of the die results' deterministic fields -- wall-clock timing is
+// reported separately (ThroughputStats) so that an interrupted-and-resumed
+// campaign produces a byte-identical aggregate report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hpp"
+#include "campaign/result_store.hpp"
+
+namespace rotsv {
+
+/// Verdict bin counters (dice or TSVs, depending on context).
+struct VerdictBins {
+  int pass = 0;
+  int open = 0;
+  int leak = 0;
+  int stuck = 0;
+  int total() const { return pass + open + leak + stuck; }
+  void add(TsvVerdict v);
+};
+
+/// Screen quality vs. ground truth.
+struct ScreenQuality {
+  int defective = 0;      ///< dice that truly carry at least one fault
+  int clean = 0;          ///< dice that are truly fault-free
+  int caught = 0;         ///< defective and flagged (any non-pass verdict)
+  int escapes = 0;        ///< defective but passed -- ships a bad die
+  int overkill = 0;       ///< clean but flagged -- scraps a good die
+  int misclassified = 0;  ///< caught, but as the wrong fault class
+  double escape_rate() const;    ///< escapes / defective
+  double overkill_rate() const;  ///< overkill / clean
+};
+
+/// One wafer's map: a rows x cols character grid.
+///   '.' unpopulated site   'P' pass   'O' open   'L' leak   'S' stuck
+///   '?' populated but not yet screened (partial campaign)
+struct WaferMap {
+  int wafer = 0;
+  int rows = 0;
+  int cols = 0;
+  std::vector<std::string> grid;  ///< rows strings of cols chars
+  std::string render() const;     ///< printable, space-separated cells
+};
+
+struct CampaignAggregate {
+  int total_dice = 0;      ///< populated sites in the campaign
+  int screened_dice = 0;   ///< die results actually present
+  VerdictBins die_bins;    ///< per-die worst verdicts
+  VerdictBins tsv_bins;    ///< per-TSV verdicts
+  ScreenQuality quality;
+  std::vector<WaferMap> wafer_maps;
+  uint64_t sim_steps = 0;  ///< total accepted transient steps
+
+  /// Deterministic multi-line report (wafer maps + bins + quality).
+  std::string describe() const;
+};
+
+/// Wall-clock view of a finished (or partial) campaign run.
+struct ThroughputStats {
+  double calibration_seconds = 0.0;
+  double screening_seconds = 0.0;
+  int dice_screened = 0;        ///< dice screened in *this* run (not resumed)
+  uint64_t sim_steps = 0;       ///< steps spent in this run
+  size_t threads = 0;
+  double dice_per_second() const;
+  double steps_per_second() const;
+  std::string describe() const;
+};
+
+/// Builds the aggregate from die results (any order; must belong to `spec`).
+CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
+                                     const std::vector<DieResult>& results);
+
+}  // namespace rotsv

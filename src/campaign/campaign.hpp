@@ -1,0 +1,20 @@
+// Umbrella header for the wafer-scale screening campaign engine.
+//
+//   CampaignSpec  -- lot geometry, defect mix, tester/voltage plan, seed
+//   CampaignExecutor / run_campaign -- shared calibration + sharded execution
+//   CampaignResultStore -- JSONL checkpoint log (kill-safe, resumable)
+//   aggregate_campaign -- wafer maps, bins, escape/overkill, throughput
+//
+// Minimal use:
+//   CampaignSpec spec;
+//   spec.wafers = 2; spec.rows = spec.cols = 12;
+//   CampaignRunOptions opt;
+//   opt.result_path = "lot0.jsonl";
+//   CampaignReport report = run_campaign(spec, opt);
+//   std::puts(report.aggregate.describe().c_str());
+#pragma once
+
+#include "campaign/aggregate.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/result_store.hpp"

@@ -1,0 +1,124 @@
+#include "campaign/campaign_spec.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+TsvFault DefectMix::draw(Rng& rng, double rho) const {
+  const double scale = 1.0 + edge_bias * (2.0 * rho) * (2.0 * rho);
+  const double p_open = std::min(open_rate * scale, 0.95);
+  const double p_leak = std::min(leak_rate * scale, 0.95 - p_open);
+  // One uniform decides the class so the draw consumes a fixed number of
+  // random values per TSV regardless of outcome -- keeps streams aligned.
+  const double u = rng.uniform();
+  const double severity = rng.uniform();
+  const double position = rng.uniform(open_x_min, open_x_max);
+  if (u < p_open) {
+    const double r = open_r_min * std::pow(open_r_max / open_r_min, severity);
+    return TsvFault::open(r, position);
+  }
+  if (u < p_open + p_leak) {
+    const double r = leak_r_min * std::pow(leak_r_max / leak_r_min, severity);
+    return TsvFault::leakage(r);
+  }
+  return TsvFault::none();
+}
+
+void CampaignSpec::validate() const {
+  require(wafers >= 1, "campaign: wafers >= 1");
+  require(rows >= 1 && cols >= 1, "campaign: wafer grid must be at least 1x1");
+  require(tsvs_per_die >= 1, "campaign: tsvs_per_die >= 1");
+  require(mix.open_rate >= 0.0 && mix.leak_rate >= 0.0 &&
+              mix.open_rate + mix.leak_rate <= 1.0,
+          "campaign: defect rates must be probabilities summing to <= 1");
+  require(mix.open_r_min > 0.0 && mix.open_r_max >= mix.open_r_min,
+          "campaign: open resistance range invalid");
+  require(mix.leak_r_min > 0.0 && mix.leak_r_max >= mix.leak_r_min,
+          "campaign: leakage resistance range invalid");
+  require(mix.open_x_min >= 0.0 && mix.open_x_max <= 1.0 &&
+              mix.open_x_min <= mix.open_x_max,
+          "campaign: open position range invalid");
+  require(mix.edge_bias >= 0.0, "campaign: edge_bias >= 0");
+  require(!tester.voltages.empty(), "campaign: tester needs a voltage plan");
+  require(preset_bands.empty() || preset_bands.size() == tester.voltages.size(),
+          "campaign: preset_bands must match the voltage plan");
+  require(total_dice() >= 1, "campaign: wafer grid has no populated dice");
+}
+
+double CampaignSpec::die_rho(int row, int col) const {
+  // Die-center offsets from wafer center, normalized so the grid spans
+  // [-0.5, 0.5] on its longer axis-independent unit square.
+  const double dx = (col + 0.5) / cols - 0.5;
+  const double dy = (row + 0.5) / rows - 0.5;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool CampaignSpec::die_present(int row, int col) const {
+  // Populated sites lie inside the inscribed circle; a 1xN or small grid is
+  // entirely populated because die centers stay within radius 0.5.
+  return die_rho(row, col) <= 0.5 + 1e-12;
+}
+
+int CampaignSpec::dice_per_wafer() const {
+  int count = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (die_present(r, c)) ++count;
+    }
+  }
+  return count;
+}
+
+int CampaignSpec::total_dice() const { return wafers * dice_per_wafer(); }
+
+int CampaignSpec::die_index(int wafer, int row, int col) const {
+  return (wafer * rows + row) * cols + col;
+}
+
+std::string CampaignSpec::fingerprint() const {
+  std::string volts;
+  for (double v : tester.voltages) volts += format("%.6g,", v);
+  return format(
+      "lot=%s w=%d grid=%dx%d tsvs=%d seed=%llu mix=%.6g/%.6g/%.6g "
+      "open=[%.6g,%.6g]x[%.6g,%.6g] leak=[%.6g,%.6g] n=%d volts=%s cal=%d k=%.6g",
+      lot_id.c_str(), wafers, rows, cols, tsvs_per_die,
+      static_cast<unsigned long long>(seed), mix.open_rate, mix.leak_rate,
+      mix.edge_bias, mix.open_r_min, mix.open_r_max, mix.open_x_min,
+      mix.open_x_max, mix.leak_r_min, mix.leak_r_max, tester.group_size,
+      volts.c_str(), tester.calibration_samples, tester.guard_band_sigma);
+}
+
+bool DieGroundTruth::defective() const {
+  for (const TsvFault& f : faults) {
+    if (f.is_fault()) return true;
+  }
+  return false;
+}
+
+TsvFaultType DieGroundTruth::worst_type() const {
+  TsvFaultType worst = TsvFaultType::kNone;
+  for (const TsvFault& f : faults) {
+    if (f.type == TsvFaultType::kLeakage) return TsvFaultType::kLeakage;
+    if (f.type == TsvFaultType::kResistiveOpen) worst = TsvFaultType::kResistiveOpen;
+  }
+  return worst;
+}
+
+DieGroundTruth die_ground_truth(const CampaignSpec& spec, int wafer, int row, int col) {
+  // Stream 2g: defect draws; stream 2g+1 belongs to the die's test (process
+  // variation + counter phases). Both are functions of (seed, g) only.
+  const int g = spec.die_index(wafer, row, col);
+  Rng rng = Rng::fork(spec.seed, 2 * static_cast<uint64_t>(g));
+  DieGroundTruth truth;
+  truth.faults.reserve(static_cast<size_t>(spec.tsvs_per_die));
+  const double rho = spec.die_rho(row, col);
+  for (int t = 0; t < spec.tsvs_per_die; ++t) {
+    truth.faults.push_back(spec.mix.draw(rng, rho));
+  }
+  return truth;
+}
+
+}  // namespace rotsv

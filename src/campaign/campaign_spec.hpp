@@ -1,0 +1,94 @@
+// Campaign specification: what a wafer-scale screening run looks like.
+//
+// A campaign is a lot of `wafers` wafers, each a rows x cols die grid whose
+// populated sites lie inside the inscribed circle (dice in the corners fall
+// off the wafer). Every die carries `tsvs_per_die` TSVs under test; each TSV
+// independently draws a fault from the DefectMix with a deterministic per-die
+// RNG stream, so the ground truth of die g is a pure function of
+// (seed, g) -- identical across thread counts, shard orders and resumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tester.hpp"
+#include "tsv/fault.hpp"
+#include "util/rng.hpp"
+
+namespace rotsv {
+
+/// Statistical defect mix of an incoming lot. Rates are per-TSV
+/// probabilities; fault parameters draw log-uniformly from their ranges
+/// (defect severities span decades, so log-uniform is the natural prior).
+struct DefectMix {
+  double open_rate = 0.05;   ///< micro-void probability per TSV
+  double leak_rate = 0.05;   ///< pinhole probability per TSV
+  double open_r_min = 1e3;   ///< series R_O range [ohm]
+  double open_r_max = 1e6;
+  double open_x_min = 0.1;   ///< void position range (normalized)
+  double open_x_max = 0.9;
+  double leak_r_min = 300.0;  ///< pinhole R_L range [ohm]; low end is stuck
+  double leak_r_max = 3e3;
+  /// Radial bias: defect rates scale by (1 + edge_bias * (2*rho)^2) where
+  /// rho in [0, 0.5] is the die's normalized distance from wafer center --
+  /// edge dice fail more often, as on real wafers. 0 disables.
+  double edge_bias = 0.0;
+
+  /// Draws one TSV's fault. `rho` is the normalized radial position of the
+  /// die carrying it.
+  TsvFault draw(Rng& rng, double rho) const;
+};
+
+struct CampaignSpec {
+  std::string lot_id = "lot0";
+  int wafers = 1;
+  int rows = 8;           ///< die grid height per wafer
+  int cols = 8;           ///< die grid width per wafer
+  int tsvs_per_die = 1;   ///< TSV groups screened per die
+  DefectMix mix;
+  TesterConfig tester;    ///< voltage plan, group size, calibration depth
+  uint64_t seed = 20130318;  ///< campaign seed (defect draws + die variation)
+  size_t threads = 0;     ///< worker threads (0 = hardware concurrency)
+  /// Precomputed pass bands (lo, hi) per voltage; when sized to the voltage
+  /// plan the executor installs them instead of running calibration
+  /// (tests/benches reuse one calibration across many runs this way).
+  std::vector<std::pair<double, double>> preset_bands;
+
+  /// Throws ConfigError on nonsensical parameters.
+  void validate() const;
+
+  /// True when grid site (row, col) is populated (inside the wafer circle).
+  bool die_present(int row, int col) const;
+
+  /// Normalized radial position of a die site, 0 = center, 0.5 = edge.
+  double die_rho(int row, int col) const;
+
+  /// Populated dice per wafer.
+  int dice_per_wafer() const;
+
+  /// Populated dice in the whole campaign.
+  int total_dice() const;
+
+  /// Dense global index of grid site (wafer, row, col) -- includes
+  /// unpopulated sites so the mapping is invertible without a scan.
+  int die_index(int wafer, int row, int col) const;
+
+  /// A fingerprint of every determinism-relevant parameter; stored in the
+  /// result log header and checked on resume so a checkpoint can never be
+  /// continued with a different campaign.
+  std::string fingerprint() const;
+};
+
+/// Ground truth of one die: the faults its TSVs actually carry.
+struct DieGroundTruth {
+  std::vector<TsvFault> faults;  ///< size = tsvs_per_die
+  bool defective() const;
+  /// Worst-case truth class for binning: stuck-class leak > leak > open > none.
+  TsvFaultType worst_type() const;
+};
+
+/// Reconstructs die `g`'s ground truth from the spec alone (deterministic).
+DieGroundTruth die_ground_truth(const CampaignSpec& spec, int wafer, int row, int col);
+
+}  // namespace rotsv

@@ -1,0 +1,197 @@
+#include "campaign/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rotsv {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct DieSite {
+  int wafer;
+  int row;
+  int col;
+};
+
+TsvVerdict worse(TsvVerdict a, TsvVerdict b) {
+  auto rank = [](TsvVerdict v) {
+    switch (v) {
+      case TsvVerdict::kPass: return 0;
+      case TsvVerdict::kResistiveOpen: return 1;
+      case TsvVerdict::kLeakage: return 2;
+      case TsvVerdict::kStuck: return 3;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+}  // namespace
+
+DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
+                     int wafer, int row, int col) {
+  const auto start = Clock::now();
+  const DieGroundTruth truth = die_ground_truth(spec, wafer, row, col);
+  const int g = spec.die_index(wafer, row, col);
+  // Stream 2g+1: this die's process variation and counter phases (stream 2g
+  // produced its ground truth). Thread count cannot perturb either.
+  Rng rng = Rng::fork(spec.seed, 2 * static_cast<uint64_t>(g) + 1);
+
+  DieResult result;
+  result.die = g;
+  result.wafer = wafer;
+  result.row = row;
+  result.col = col;
+  result.truth = truth.worst_type();
+  result.defective = truth.defective();
+
+  for (const TsvFault& fault : truth.faults) {
+    TestReport report;
+    try {
+      report = tester.test_die_tsv(fault, rng);
+    } catch (const Error&) {
+      // A die whose bypass-all reference run cannot oscillate has broken DfT
+      // hardware; a production screen scraps it rather than aborting the lot.
+      report.verdict = TsvVerdict::kStuck;
+    }
+    result.verdict = worse(result.verdict, report.verdict);
+    result.tsv_verdicts += verdict_code(report.verdict);
+    result.sim_steps += report.sim_steps;
+  }
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+CampaignExecutor::CampaignExecutor(CampaignSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
+  require(!options.resume || !options.result_path.empty(),
+          "campaign: --resume needs a result log path");
+
+  CampaignReport report;
+
+  // --- recover checkpoint state ---------------------------------------------
+  std::unique_ptr<CampaignResultStore> store;
+  ResumeState resumed;
+  if (!options.result_path.empty()) {
+    if (options.resume) {
+      store = CampaignResultStore::resume(options.result_path, spec_, &resumed);
+    } else {
+      store = CampaignResultStore::create(options.result_path, spec_);
+    }
+  }
+  report.resumed_dice = static_cast<int>(resumed.completed.size());
+
+  // --- calibration: once per campaign, shared by every die ------------------
+  const auto calibration_start = Clock::now();
+  TesterConfig tester_config = spec_.tester;
+  tester_config.threads = spec_.threads;
+  PreBondTsvTester tester(tester_config);
+  const size_t num_voltages = tester_config.voltages.size();
+  if (!resumed.bands.empty()) {
+    for (size_t vi = 0; vi < num_voltages; ++vi) {
+      tester.set_band(vi, resumed.bands[vi].first, resumed.bands[vi].second);
+    }
+  } else if (!spec_.preset_bands.empty()) {
+    for (size_t vi = 0; vi < num_voltages; ++vi) {
+      tester.set_band(vi, spec_.preset_bands[vi].first,
+                      spec_.preset_bands[vi].second);
+    }
+  } else {
+    tester.calibrate();
+  }
+  for (size_t vi = 0; vi < num_voltages; ++vi) {
+    report.bands.emplace_back(tester.classifier(vi).lower(),
+                              tester.classifier(vi).upper());
+  }
+  if (store && resumed.bands.empty()) {
+    store->write_bands(report.bands, tester_config.voltages);
+  }
+  report.throughput.calibration_seconds = seconds_since(calibration_start);
+
+  // --- shard the pending dice over the pool ---------------------------------
+  std::vector<bool> done(static_cast<size_t>(spec_.wafers * spec_.rows * spec_.cols),
+                         false);
+  for (const DieResult& r : resumed.completed) {
+    done[static_cast<size_t>(r.die)] = true;
+  }
+  std::vector<DieSite> pending;
+  for (int w = 0; w < spec_.wafers; ++w) {
+    for (int r = 0; r < spec_.rows; ++r) {
+      for (int c = 0; c < spec_.cols; ++c) {
+        if (!spec_.die_present(r, c)) continue;
+        if (done[static_cast<size_t>(spec_.die_index(w, r, c))]) continue;
+        pending.push_back({w, r, c});
+      }
+    }
+  }
+
+  const int total = spec_.total_dice();
+  report.results = std::move(resumed.completed);
+  std::mutex results_mutex;
+  int completed_count = report.resumed_dice;
+
+  const auto screening_start = Clock::now();
+  if (!pending.empty()) {
+    const size_t workers = spec_.threads != 0
+                               ? spec_.threads
+                               : std::max<size_t>(1, std::thread::hardware_concurrency());
+    // Small chunks keep the pool load-balanced (die cost varies wildly:
+    // stuck dice bail out after one window, low-VDD dice re-run with long
+    // windows); big enough to amortize queue traffic.
+    const size_t chunk =
+        std::clamp<size_t>(pending.size() / (workers * 8), 1, 16);
+    const size_t num_chunks = (pending.size() + chunk - 1) / chunk;
+
+    ThreadPool::parallel_for(
+        num_chunks,
+        [&](size_t chunk_index) {
+          const size_t begin = chunk_index * chunk;
+          const size_t end = std::min(begin + chunk, pending.size());
+          for (size_t i = begin; i < end; ++i) {
+            const DieSite& site = pending[i];
+            DieResult result =
+                screen_die(spec_, tester, site.wafer, site.row, site.col);
+            if (store) store->append(result);
+            std::lock_guard<std::mutex> lock(results_mutex);
+            report.throughput.sim_steps += result.sim_steps;
+            ++report.throughput.dice_screened;
+            ++completed_count;
+            report.results.push_back(std::move(result));
+            if (options.progress) {
+              options.progress(report.results.back(), completed_count, total);
+            }
+          }
+        },
+        spec_.threads);
+  }
+  report.throughput.screening_seconds = seconds_since(screening_start);
+  report.throughput.threads =
+      spec_.threads != 0 ? spec_.threads
+                         : std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  std::sort(report.results.begin(), report.results.end(),
+            [](const DieResult& a, const DieResult& b) { return a.die < b.die; });
+  report.aggregate = aggregate_campaign(spec_, report.results);
+  return report;
+}
+
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignRunOptions& options) {
+  return CampaignExecutor(spec).run(options);
+}
+
+}  // namespace rotsv

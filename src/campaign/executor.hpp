@@ -1,0 +1,64 @@
+// Sharded campaign executor.
+//
+// The pipeline the paper implies but never builds: calibrate the tester ONCE
+// per voltage plan (the dominant fixed cost -- a Monte-Carlo population per
+// voltage), then fan the per-die screenings out over the thread pool in
+// dynamically scheduled chunks. Every die derives its ground truth and its
+// process-variation sample from (campaign seed, die index) alone, so the
+// results are identical for any thread count, chunk size, shard order, or
+// kill/resume pattern -- the property the campaign tests pin down.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "campaign/result_store.hpp"
+
+namespace rotsv {
+
+struct CampaignRunOptions {
+  /// JSONL result log path. Empty runs in-memory (no checkpointing).
+  std::string result_path;
+  /// Continue from an existing result log instead of starting over. The log
+  /// must carry the same campaign fingerprint; completed dice are skipped
+  /// and stored calibration bands are reused (no re-calibration).
+  bool resume = false;
+  /// Optional per-die completion hook (called from worker threads, serialized).
+  std::function<void(const DieResult&, int done, int total)> progress;
+};
+
+struct CampaignReport {
+  CampaignAggregate aggregate;          ///< over ALL dice (resumed + new)
+  ThroughputStats throughput;           ///< for the dice screened this run
+  std::vector<DieResult> results;       ///< all dice, sorted by die index
+  int resumed_dice = 0;                 ///< dice recovered from the checkpoint
+  /// Calibration pass bands per voltage (computed, preset, or resumed).
+  std::vector<std::pair<double, double>> bands;
+};
+
+class CampaignExecutor {
+ public:
+  explicit CampaignExecutor(CampaignSpec spec);
+
+  /// Runs (or resumes) the campaign to completion and reports.
+  CampaignReport run(const CampaignRunOptions& options = {});
+
+  const CampaignSpec& spec() const { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+};
+
+/// One-call convenience wrapper.
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignRunOptions& options = {});
+
+/// Screens a single die (all its TSVs) against a calibrated tester; exposed
+/// for tests and for embedding the per-die flow in other drivers.
+DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
+                     int wafer, int row, int col);
+
+}  // namespace rotsv

@@ -1,0 +1,83 @@
+// Durable campaign result log: JSONL, append-only, one record per completed
+// die, flushed per record. The file *is* the checkpoint -- a killed campaign
+// resumes by replaying it:
+//
+//   {"type":"campaign","fingerprint":...}     header, written once
+//   {"type":"band","index":i,"lo":..,"hi":..} calibration result per voltage
+//   {"type":"die","die":g,...}                one per screened die
+//
+// On resume the header fingerprint must match the spec (you cannot continue
+// a checkpoint with a different campaign), stored bands are installed instead
+// of re-calibrating, and completed dice are skipped. A partial trailing line
+// (kill mid-write) is ignored by the reader.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hpp"
+#include "stats/classifier.hpp"
+#include "util/jsonl.hpp"
+
+namespace rotsv {
+
+/// Outcome of screening one die.
+struct DieResult {
+  int die = 0;    ///< dense global site index
+  int wafer = 0;
+  int row = 0;
+  int col = 0;
+  TsvVerdict verdict = TsvVerdict::kPass;  ///< worst verdict across TSVs
+  std::string tsv_verdicts;  ///< one char per TSV: P / O / L / S
+  TsvFaultType truth = TsvFaultType::kNone;  ///< worst ground-truth class
+  bool defective = false;    ///< any TSV carries a fault
+  uint64_t sim_steps = 0;    ///< accepted transient steps spent on this die
+  double seconds = 0.0;      ///< wall-clock spent (not part of aggregates)
+};
+
+char verdict_code(TsvVerdict v);
+
+/// State recovered from an existing result log.
+struct ResumeState {
+  std::vector<std::pair<double, double>> bands;  ///< per-voltage, if complete
+  std::vector<DieResult> completed;              ///< sorted by die index
+  size_t skipped_lines = 0;                      ///< corrupt/partial lines
+};
+
+class CampaignResultStore {
+ public:
+  /// Starts a fresh log at `path` (truncating) and writes the header.
+  static std::unique_ptr<CampaignResultStore> create(const std::string& path,
+                                                     const CampaignSpec& spec);
+
+  /// Opens an existing log for resumption: validates the header fingerprint
+  /// against `spec` (ConfigError on mismatch or missing header) and returns
+  /// the recovered state alongside the append-mode store.
+  static std::unique_ptr<CampaignResultStore> resume(const std::string& path,
+                                                     const CampaignSpec& spec,
+                                                     ResumeState* state);
+
+  /// Records the calibration pass bands (once, after calibrate()).
+  void write_bands(const std::vector<std::pair<double, double>>& bands,
+                   const std::vector<double>& voltages);
+
+  /// Appends one die result. Thread-safe; flushed before returning.
+  void append(const DieResult& result);
+
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  CampaignResultStore(const std::string& path, bool append);
+
+  std::mutex mutex_;
+  JsonlWriter writer_;
+};
+
+/// Parses the recoverable state out of a result log without opening it for
+/// writing (used by report-only tooling and tests).
+ResumeState load_resume_state(const std::string& path, const CampaignSpec& spec);
+
+}  // namespace rotsv

@@ -101,6 +101,7 @@ TestReport PreBondTsvTester::test_die_tsv(const TsvFault& fault, Rng& rng) const
     const double vdd = config_.voltages[vi];
     ro.set_vdd(vdd);
     const DeltaTResult d = measure_delta_t(ro, 1, config_.run);
+    report.sim_steps += d.sim_steps;
 
     VoltageReading reading;
     reading.vdd = vdd;

@@ -53,6 +53,9 @@ struct VoltageReading {
 struct TestReport {
   TsvVerdict verdict = TsvVerdict::kPass;  ///< combined over all voltages
   std::vector<VoltageReading> readings;
+  /// Accepted transient steps spent across all voltage points (throughput
+  /// accounting for campaign-scale runs).
+  size_t sim_steps = 0;
   std::string describe() const;
 };
 

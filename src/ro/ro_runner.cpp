@@ -47,7 +47,12 @@ RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options) {
   const double first = std::min(options.first_window, options.max_time);
   RoMeasurement m = measure_window(ro, options, first);
   if (m.oscillating || first >= options.max_time) return m;
-  return measure_window(ro, options, options.max_time);
+  RoMeasurement retry = measure_window(ro, options, options.max_time);
+  // Account for both windows so throughput stats see the real work done.
+  retry.stats.steps_accepted += m.stats.steps_accepted;
+  retry.stats.steps_rejected += m.stats.steps_rejected;
+  retry.stats.newton_iterations += m.stats.newton_iterations;
+  return retry;
 }
 
 DeltaTResult measure_delta_t(RingOscillator& ro, int enabled_tsvs,
@@ -61,6 +66,7 @@ DeltaTResult measure_delta_t(RingOscillator& ro, int enabled_tsvs,
 
   ro.bypass_all();
   const RoMeasurement t2 = measure_period(ro, options);
+  result.sim_steps = t1.stats.steps_accepted + t2.stats.steps_accepted;
 
   if (!t2.oscillating) {
     // The reference run must oscillate; if not, the DfT itself is broken.
@@ -88,6 +94,7 @@ DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
 
   ro.bypass_all();
   const RoMeasurement t2 = measure_period(ro, options);
+  result.sim_steps = t1.stats.steps_accepted + t2.stats.steps_accepted;
   if (!t2.oscillating) {
     throw ConvergenceError(
         "measure_delta_t_single: bypass-all reference run does not oscillate");

@@ -44,6 +44,8 @@ struct DeltaTResult {
   double t1 = 0.0;
   double t2 = 0.0;
   double delta_t = 0.0;   ///< T1 - T2
+  /// Accepted transient steps spent on both runs (throughput accounting).
+  size_t sim_steps = 0;
 };
 
 /// Runs the paper's two-run measurement: first with `enabled_tsvs` TSVs of

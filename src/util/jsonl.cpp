@@ -1,0 +1,327 @@
+#include "util/jsonl.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.type = Type::kString;
+  v.str = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.type = Type::kNumber;
+  v.num = d;
+  return v;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.type = Type::kBool;
+  v.b = b;
+  return v;
+}
+
+namespace {
+
+void set_field(std::vector<std::pair<std::string, JsonValue>>* fields,
+               std::map<std::string, size_t>* index, const std::string& key,
+               JsonValue value) {
+  auto it = index->find(key);
+  if (it != index->end()) {
+    (*fields)[it->second].second = std::move(value);
+    return;
+  }
+  (*index)[key] = fields->size();
+  fields->emplace_back(key, std::move(value));
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal recursive-descent pieces for flat objects.
+struct Cursor {
+  const std::string& s;
+  size_t i = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (eof() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+};
+
+bool parse_string(Cursor* c, std::string* out) {
+  if (!c->consume('"')) return false;
+  out->clear();
+  while (!c->eof()) {
+    char ch = c->s[c->i++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c->eof()) return false;
+      char esc = c->s[c->i++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (c->i + 4 > c->s.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = c->s[c->i++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The writer only emits \u00XX control escapes; decode the
+          // single-byte range and reject anything wider.
+          if (code > 0xff) return false;
+          *out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      *out += ch;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_value(Cursor* c, JsonValue* out) {
+  c->skip_ws();
+  if (c->eof()) return false;
+  char ch = c->peek();
+  if (ch == '"') {
+    std::string s;
+    if (!parse_string(c, &s)) return false;
+    *out = JsonValue::string(std::move(s));
+    return true;
+  }
+  if (ch == 't' || ch == 'f') {
+    const char* word = ch == 't' ? "true" : "false";
+    const size_t len = ch == 't' ? 4 : 5;
+    if (c->s.compare(c->i, len, word) != 0) return false;
+    c->i += len;
+    *out = JsonValue::boolean(ch == 't');
+    return true;
+  }
+  if (ch == '-' || ch == '+' || std::isdigit(static_cast<unsigned char>(ch))) {
+    const char* begin = c->s.c_str() + c->i;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    c->i += static_cast<size_t>(end - begin);
+    *out = JsonValue::number(v);
+    return true;
+  }
+  return false;  // null / nested containers are out of scope
+}
+
+}  // namespace
+
+JsonRecord& JsonRecord::set(const std::string& key, const std::string& value) {
+  set_field(&fields_, &index_, key, JsonValue::string(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonRecord& JsonRecord::set(const std::string& key, double value) {
+  set_field(&fields_, &index_, key, JsonValue::number(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::set(const std::string& key, int value) {
+  return set(key, static_cast<double>(value));
+}
+
+JsonRecord& JsonRecord::set(const std::string& key, int64_t value) {
+  return set(key, static_cast<double>(value));
+}
+
+JsonRecord& JsonRecord::set(const std::string& key, uint64_t value) {
+  return set(key, static_cast<double>(value));
+}
+
+JsonRecord& JsonRecord::set(const std::string& key, bool value) {
+  set_field(&fields_, &index_, key, JsonValue::boolean(value));
+  return *this;
+}
+
+bool JsonRecord::has(const std::string& key) const {
+  return index_.count(key) != 0;
+}
+
+namespace {
+
+const JsonValue& record_get(const std::vector<std::pair<std::string, JsonValue>>& fields,
+                            const std::map<std::string, size_t>& index,
+                            const std::string& key, JsonValue::Type type,
+                            const char* type_name) {
+  auto it = index.find(key);
+  require(it != index.end(), format("jsonl: missing field '%s'", key.c_str()));
+  const JsonValue& v = fields[it->second].second;
+  require(v.type == type,
+          format("jsonl: field '%s' is not a %s", key.c_str(), type_name));
+  return v;
+}
+
+}  // namespace
+
+const std::string& JsonRecord::get_string(const std::string& key) const {
+  return record_get(fields_, index_, key, JsonValue::Type::kString, "string").str;
+}
+
+double JsonRecord::get_number(const std::string& key) const {
+  return record_get(fields_, index_, key, JsonValue::Type::kNumber, "number").num;
+}
+
+bool JsonRecord::get_bool(const std::string& key) const {
+  return record_get(fields_, index_, key, JsonValue::Type::kBool, "bool").b;
+}
+
+double JsonRecord::get_number_or(const std::string& key, double fallback) const {
+  if (!has(key)) return fallback;
+  return get_number(key);
+}
+
+std::string JsonRecord::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += escape(key);
+    out += "\":";
+    switch (value.type) {
+      case JsonValue::Type::kString:
+        out += '"';
+        out += escape(value.str);
+        out += '"';
+        break;
+      case JsonValue::Type::kNumber:
+        out += format("%.17g", value.num);
+        break;
+      case JsonValue::Type::kBool:
+        out += value.b ? "true" : "false";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool JsonRecord::parse(const std::string& line, JsonRecord* out) {
+  *out = JsonRecord();
+  Cursor c{line};
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) {
+    c.skip_ws();
+    return c.eof();
+  }
+  while (true) {
+    std::string key;
+    if (!parse_string(&c, &key)) return false;
+    if (!c.consume(':')) return false;
+    JsonValue value;
+    if (!parse_value(&c, &value)) return false;
+    set_field(&out->fields_, &out->index_, key, std::move(value));
+    if (c.consume(',')) continue;
+    if (c.consume('}')) break;
+    return false;
+  }
+  c.skip_ws();
+  return c.eof();
+}
+
+JsonlWriter::JsonlWriter(const std::string& path, bool append) : path_(path) {
+  // A crash can leave the file without a trailing newline (torn write);
+  // appending directly would merge the next record into the torn line and
+  // lose it. Start on a fresh line instead.
+  bool needs_newline = false;
+  if (append) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (in.is_open() && in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      char last = '\0';
+      in.get(last);
+      needs_newline = last != '\n';
+    }
+  }
+  out_.open(path, append ? std::ios::out | std::ios::app : std::ios::out);
+  if (!out_.is_open()) {
+    throw Error(format("jsonl: cannot open '%s' for writing", path.c_str()));
+  }
+  if (needs_newline) {
+    out_ << '\n';
+    out_.flush();
+  }
+}
+
+void JsonlWriter::write(const JsonRecord& record) {
+  out_ << record.to_json() << '\n';
+  out_.flush();
+}
+
+JsonlReadResult read_jsonl(const std::string& path) {
+  JsonlReadResult result;
+  std::ifstream in(path);
+  if (!in.is_open()) return result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    JsonRecord record;
+    if (JsonRecord::parse(line, &record)) {
+      result.records.push_back(std::move(record));
+    } else {
+      ++result.skipped_lines;
+    }
+  }
+  return result;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,90 @@
+// Line-oriented JSON (JSONL) writer/reader used by the campaign result store.
+//
+// Scope is deliberately small: records are *flat* JSON objects whose values
+// are strings, numbers or booleans. That is all a checkpoint log needs, and
+// it keeps the parser trivial to audit. Writers flush after every record so a
+// killed process loses at most the line being written; readers skip a
+// trailing partial line, which is exactly the crash-recovery contract
+// checkpoint/resume relies on.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rotsv {
+
+/// One field value of a flat JSONL record.
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool };
+  Type type = Type::kNumber;
+  std::string str;
+  double num = 0.0;
+  bool b = false;
+
+  static JsonValue string(std::string s);
+  static JsonValue number(double v);
+  static JsonValue boolean(bool v);
+};
+
+/// A flat JSON object, field order preserved for stable round-trips.
+class JsonRecord {
+ public:
+  JsonRecord& set(const std::string& key, const std::string& value);
+  JsonRecord& set(const std::string& key, const char* value);
+  JsonRecord& set(const std::string& key, double value);
+  JsonRecord& set(const std::string& key, int value);
+  JsonRecord& set(const std::string& key, int64_t value);
+  JsonRecord& set(const std::string& key, uint64_t value);
+  JsonRecord& set(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+  /// Throw ConfigError when the key is missing or has the wrong type.
+  const std::string& get_string(const std::string& key) const;
+  double get_number(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+  /// Returns `fallback` when the key is absent (still throws on wrong type).
+  double get_number_or(const std::string& key, double fallback) const;
+
+  /// Serializes to one JSON object, no trailing newline. Numbers use %.17g so
+  /// doubles round-trip exactly (bit-identical resume depends on this).
+  std::string to_json() const;
+
+  /// Parses one flat JSON object line. Returns false on any syntax error or
+  /// on nested containers (the crash-truncated-line case).
+  static bool parse(const std::string& line, JsonRecord* out);
+
+ private:
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+  std::map<std::string, size_t> index_;
+};
+
+/// Append-mode JSONL writer; one record per line, flushed per record.
+class JsonlWriter {
+ public:
+  /// Opens `path`; truncates when `append` is false.
+  /// Throws rotsv::Error if the file cannot be opened.
+  JsonlWriter(const std::string& path, bool append);
+
+  void write(const JsonRecord& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Reads every parseable record of a JSONL file. Unparseable lines (e.g. a
+/// partial final line after a crash) are skipped and counted.
+struct JsonlReadResult {
+  std::vector<JsonRecord> records;
+  size_t skipped_lines = 0;
+};
+
+/// Returns an empty result when the file does not exist.
+JsonlReadResult read_jsonl(const std::string& path);
+
+}  // namespace rotsv

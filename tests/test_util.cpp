@@ -8,6 +8,7 @@
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -251,6 +252,77 @@ TEST(AsciiChart, LogXSkipsNonPositive) {
   opt.log_x = true;
   const std::string chart = render_chart({s}, opt);
   EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(Jsonl, RecordRoundTripsTypesAndEscapes) {
+  JsonRecord rec;
+  rec.set("name", "a \"quoted\"\tstring\nwith\\escapes")
+      .set("count", 42)
+      .set("ratio", 0.1)
+      .set("exact", 1.0 / 3.0)
+      .set("flag", true)
+      .set("off", false);
+  JsonRecord parsed;
+  ASSERT_TRUE(JsonRecord::parse(rec.to_json(), &parsed));
+  EXPECT_EQ(parsed.get_string("name"), "a \"quoted\"\tstring\nwith\\escapes");
+  EXPECT_EQ(parsed.get_number("count"), 42.0);
+  EXPECT_EQ(parsed.get_number("ratio"), 0.1);
+  // %.17g makes doubles bit-exact through the text round-trip.
+  EXPECT_EQ(parsed.get_number("exact"), 1.0 / 3.0);
+  EXPECT_TRUE(parsed.get_bool("flag"));
+  EXPECT_FALSE(parsed.get_bool("off"));
+  EXPECT_FALSE(parsed.has("missing"));
+  EXPECT_EQ(parsed.get_number_or("missing", -1.0), -1.0);
+  EXPECT_THROW(parsed.get_string("count"), ConfigError);
+  EXPECT_THROW(parsed.get_number("nope"), ConfigError);
+}
+
+TEST(Jsonl, ParseRejectsPartialAndNestedLines) {
+  JsonRecord rec;
+  EXPECT_TRUE(JsonRecord::parse("{}", &rec));
+  EXPECT_TRUE(JsonRecord::parse("  {\"a\": 1}  ", &rec));
+  // The crash case: a line truncated mid-write must not parse.
+  EXPECT_FALSE(JsonRecord::parse("{\"type\":\"die\",\"die\":9,\"waf", &rec));
+  EXPECT_FALSE(JsonRecord::parse("", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":1} trailing", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":[1,2]}", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":{\"b\":1}}", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":null}", &rec));
+}
+
+TEST(Jsonl, WriterAppendsAndReaderSkipsPartialTail) {
+  const std::string path = ::testing::TempDir() + "rotsv_jsonl_test.jsonl";
+  {
+    JsonlWriter writer(path, /*append=*/false);
+    JsonRecord a;
+    writer.write(a.set("i", 0));
+  }
+  {
+    JsonlWriter writer(path, /*append=*/true);
+    JsonRecord b;
+    writer.write(b.set("i", 1));
+  }
+  {  // a crash mid-write leaves a partial line
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"i\":2,\"trunc", f);
+    std::fclose(f);
+  }
+  {  // appending after a torn write must start on a fresh line
+    JsonlWriter writer(path, /*append=*/true);
+    JsonRecord c;
+    writer.write(c.set("i", 3));
+  }
+  const JsonlReadResult read = read_jsonl(path);
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.records[0].get_number("i"), 0.0);
+  EXPECT_EQ(read.records[1].get_number("i"), 1.0);
+  EXPECT_EQ(read.records[2].get_number("i"), 3.0);
+  EXPECT_EQ(read.skipped_lines, 1u);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(read_jsonl("/nonexistent_dir_xyz/nope.jsonl").records.empty());
+  EXPECT_THROW(JsonlWriter("/nonexistent_dir_xyz/nope.jsonl", false), Error);
 }
 
 }  // namespace
