@@ -31,6 +31,73 @@ void BM_LuSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_LuSolve)->Arg(16)->Arg(48)->Arg(96)->Arg(160);
 
+// One-shot full-pivoting factorization vs frozen-pivot refactorization on the
+// real transient Jacobian of an RO(2) DUT: the workload every Newton
+// iteration of a screening campaign runs.
+class RoJacobianFixture {
+ public:
+  RoJacobianFixture() : ro_(ro_config()), mna_(ro_.circuit()) {
+    ro_.enable_first(1);
+    const Circuit& c = ro_.circuit();
+    v_.assign(c.nodes().unknown_count() + 1, 0.0);
+    state_.assign(c.state_count(), 0.0);
+    ctx_.kind = AnalysisKind::kTransient;
+    ctx_.h = 1e-12;
+    ctx_.time = 1e-12;
+    ctx_.v = &v_;
+    ctx_.v_prev = &v_;
+    ctx_.state_prev = state_.data();
+    ctx_.state_now = state_.data();
+    mna_.capture_pattern(ctx_, &structure_);
+  }
+
+  const Matrix& jacobian() { return mna_.jacobian(); }
+  const Vector& rhs() { return mna_.rhs(); }
+  const uint8_t* structure() const { return structure_.data(); }
+
+ private:
+  static RingOscillatorConfig ro_config() {
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = 2;
+    return cfg;
+  }
+
+  RingOscillator ro_;
+  MnaSystem mna_;
+  Vector v_;
+  Vector state_;
+  LoadContext ctx_;
+  std::vector<uint8_t> structure_;
+};
+
+void BM_LuOneShotRoJacobian(benchmark::State& state) {
+  RoJacobianFixture fx;
+  Vector b = fx.rhs();
+  for (auto _ : state) {
+    LuFactorization lu(fx.jacobian());
+    Vector x = b;
+    lu.solve_in_place(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuOneShotRoJacobian);
+
+void BM_LuFrozenRefactorRoJacobian(benchmark::State& state) {
+  RoJacobianFixture fx;
+  Vector b = fx.rhs();
+  LuFactorization lu;
+  lu.refactor(fx.jacobian(), fx.structure());  // establish the pivot order
+  for (auto _ : state) {
+    lu.refactor(fx.jacobian(), fx.structure());
+    Vector x = b;
+    lu.solve_in_place(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["full_factorizations"] =
+      static_cast<double>(lu.full_factorizations());
+}
+BENCHMARK(BM_LuFrozenRefactorRoJacobian);
+
 void BM_EkvEvaluate(benchmark::State& state) {
   const auto& card = ptm45lp_nmos();
   MosInstanceParams p;

@@ -56,19 +56,24 @@ DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
   result.truth = truth.worst_type();
   result.defective = truth.defective();
 
-  for (const TsvFault& fault : truth.faults) {
-    TestReport report;
-    try {
-      report = tester.test_die_tsv(fault, rng);
-    } catch (const Error&) {
-      // A die whose bypass-all reference run cannot oscillate has broken DfT
-      // hardware; a production screen scraps it rather than aborting the lot.
-      report.verdict = TsvVerdict::kStuck;
-    }
+  // The per-die tester API shares one ring + one memoized bypass-all
+  // reference run per group of TSVs; rings with broken DfT come back as
+  // stuck TSVs rather than exceptions (and the belt-and-braces catch keeps
+  // a production screen scrapping the die instead of aborting the lot).
+  DieTestReport die_report;
+  try {
+    die_report = tester.test_die(truth.faults, rng);
+  } catch (const Error&) {
+    die_report.tsvs.clear();
+    die_report.tsvs.resize(truth.faults.size());
+    for (TestReport& r : die_report.tsvs) r.verdict = TsvVerdict::kStuck;
+    die_report.sim_steps = 0;
+  }
+  for (const TestReport& report : die_report.tsvs) {
     result.verdict = worse(result.verdict, report.verdict);
     result.tsv_verdicts += verdict_code(report.verdict);
-    result.sim_steps += report.sim_steps;
   }
+  result.sim_steps += die_report.sim_steps;
   result.seconds = seconds_since(start);
   return result;
 }

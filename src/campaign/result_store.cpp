@@ -65,7 +65,7 @@ DieResult die_from_record(const JsonRecord& rec) {
   for (char c : r.tsv_verdicts) verdict_from_code(c);  // validate
   r.truth = truth_from_name(rec.get_string("truth"));
   r.defective = rec.get_bool("defective");
-  r.sim_steps = static_cast<uint64_t>(rec.get_number("steps"));
+  r.sim_steps = rec.get_uint64("steps");
   r.seconds = rec.get_number_or("sec", 0.0);
   return r;
 }

@@ -2,59 +2,6 @@
 
 namespace rotsv {
 
-void Stamper::conductance(NodeId a, NodeId b, double g) {
-  const int ra = row_of(a);
-  const int rb = row_of(b);
-  if (ra >= 0) j_.at(static_cast<size_t>(ra), static_cast<size_t>(ra)) += g;
-  if (rb >= 0) j_.at(static_cast<size_t>(rb), static_cast<size_t>(rb)) += g;
-  if (ra >= 0 && rb >= 0) {
-    j_.at(static_cast<size_t>(ra), static_cast<size_t>(rb)) -= g;
-    j_.at(static_cast<size_t>(rb), static_cast<size_t>(ra)) -= g;
-  }
-}
-
-void Stamper::current(NodeId from, NodeId into, double i) {
-  const int rf = row_of(from);
-  const int ri = row_of(into);
-  if (rf >= 0) rhs_[static_cast<size_t>(rf)] -= i;
-  if (ri >= 0) rhs_[static_cast<size_t>(ri)] += i;
-}
-
-void Stamper::vccs(NodeId out_from, NodeId out_into, NodeId ctrl_p, NodeId ctrl_n,
-                   double gm) {
-  const int rf = row_of(out_from);
-  const int ri = row_of(out_into);
-  const int cp = row_of(ctrl_p);
-  const int cn = row_of(ctrl_n);
-  // Current gm*(Vcp - Vcn) leaves out_from and enters out_into:
-  // KCL(out_from): +gm*Vcp - gm*Vcn ; KCL(out_into): -gm*Vcp + gm*Vcn.
-  if (rf >= 0 && cp >= 0) j_.at(static_cast<size_t>(rf), static_cast<size_t>(cp)) += gm;
-  if (rf >= 0 && cn >= 0) j_.at(static_cast<size_t>(rf), static_cast<size_t>(cn)) -= gm;
-  if (ri >= 0 && cp >= 0) j_.at(static_cast<size_t>(ri), static_cast<size_t>(cp)) -= gm;
-  if (ri >= 0 && cn >= 0) j_.at(static_cast<size_t>(ri), static_cast<size_t>(cn)) += gm;
-}
-
-void Stamper::branch_voltage(size_t branch, NodeId p, NodeId n, double value) {
-  const size_t br = branch_row(branch);
-  const int rp = row_of(p);
-  const int rn = row_of(n);
-  // Branch current unknown i flows from p through the source to n.
-  if (rp >= 0) {
-    j_.at(static_cast<size_t>(rp), br) += 1.0;
-    j_.at(br, static_cast<size_t>(rp)) += 1.0;
-  }
-  if (rn >= 0) {
-    j_.at(static_cast<size_t>(rn), br) -= 1.0;
-    j_.at(br, static_cast<size_t>(rn)) -= 1.0;
-  }
-  rhs_[br] += value;
-}
-
-void Stamper::shunt_to_ground(NodeId a, double g) {
-  const int ra = row_of(a);
-  if (ra >= 0) j_.at(static_cast<size_t>(ra), static_cast<size_t>(ra)) += g;
-}
-
 void stamp_capacitor(Stamper& stamper, const LoadContext& ctx, NodeId a, NodeId b,
                      double capacitance, size_t state_offset, size_t state_base) {
   if (ctx.kind == AnalysisKind::kDcOperatingPoint) return;  // open at DC

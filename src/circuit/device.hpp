@@ -9,6 +9,7 @@
 // Newton-Raphson companion formulation.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,35 +57,93 @@ struct LoadContext {
 
 /// Accumulates stamps into the MNA matrix and right-hand side, translating
 /// NodeId/branch ids into unknown rows and dropping ground contributions.
+/// Methods are defined inline: they run millions of times per transient and
+/// the call itself would dominate the trivial add they perform.
 class Stamper {
  public:
   Stamper(Matrix& jacobian, Vector& rhs, size_t node_unknowns)
       : j_(jacobian), rhs_(rhs), node_unknowns_(node_unknowns) {}
 
+  /// When set, every Jacobian position a stamp writes is also marked nonzero
+  /// in `pattern` (rows()*cols() bytes, row-major). Device stamp *positions*
+  /// depend only on topology and analysis kind, so one instrumented assembly
+  /// captures the structural sparsity for the whole analysis (the frozen
+  /// pivot ordering in LuFactorization::refactor depends on this).
+  void set_pattern(uint8_t* pattern) { pattern_ = pattern; }
+
   /// Conductance g between nodes a and b.
-  void conductance(NodeId a, NodeId b, double g);
+  void conductance(NodeId a, NodeId b, double g) {
+    const int ra = row_of(a);
+    const int rb = row_of(b);
+    if (ra >= 0) jac(static_cast<size_t>(ra), static_cast<size_t>(ra)) += g;
+    if (rb >= 0) jac(static_cast<size_t>(rb), static_cast<size_t>(rb)) += g;
+    if (ra >= 0 && rb >= 0) {
+      jac(static_cast<size_t>(ra), static_cast<size_t>(rb)) -= g;
+      jac(static_cast<size_t>(rb), static_cast<size_t>(ra)) -= g;
+    }
+  }
 
   /// Current source of value `i` flowing INTO node `into` (out of `from`).
-  void current(NodeId from, NodeId into, double i);
+  void current(NodeId from, NodeId into, double i) {
+    const int rf = row_of(from);
+    const int ri = row_of(into);
+    if (rf >= 0) rhs_[static_cast<size_t>(rf)] -= i;
+    if (ri >= 0) rhs_[static_cast<size_t>(ri)] += i;
+  }
 
   /// Voltage-controlled current source: current gm*(v_cp - v_cn) flows from
   /// `out_from` into `out_into`.
-  void vccs(NodeId out_from, NodeId out_into, NodeId ctrl_p, NodeId ctrl_n, double gm);
+  void vccs(NodeId out_from, NodeId out_into, NodeId ctrl_p, NodeId ctrl_n,
+            double gm) {
+    const int rf = row_of(out_from);
+    const int ri = row_of(out_into);
+    const int cp = row_of(ctrl_p);
+    const int cn = row_of(ctrl_n);
+    // Current gm*(Vcp - Vcn) leaves out_from and enters out_into:
+    // KCL(out_from): +gm*Vcp - gm*Vcn ; KCL(out_into): -gm*Vcp + gm*Vcn.
+    if (rf >= 0 && cp >= 0) jac(static_cast<size_t>(rf), static_cast<size_t>(cp)) += gm;
+    if (rf >= 0 && cn >= 0) jac(static_cast<size_t>(rf), static_cast<size_t>(cn)) -= gm;
+    if (ri >= 0 && cp >= 0) jac(static_cast<size_t>(ri), static_cast<size_t>(cp)) -= gm;
+    if (ri >= 0 && cn >= 0) jac(static_cast<size_t>(ri), static_cast<size_t>(cn)) += gm;
+  }
 
   /// Branch-row stamps for voltage-defined elements. `branch` is the branch
   /// index assigned by the engine (0-based across all branches).
-  void branch_voltage(size_t branch, NodeId p, NodeId n, double value);
+  void branch_voltage(size_t branch, NodeId p, NodeId n, double value) {
+    const size_t br = branch_row(branch);
+    const int rp = row_of(p);
+    const int rn = row_of(n);
+    // Branch current unknown i flows from p through the source to n.
+    if (rp >= 0) {
+      jac(static_cast<size_t>(rp), br) += 1.0;
+      jac(br, static_cast<size_t>(rp)) += 1.0;
+    }
+    if (rn >= 0) {
+      jac(static_cast<size_t>(rn), br) -= 1.0;
+      jac(br, static_cast<size_t>(rn)) -= 1.0;
+    }
+    rhs_[br] += value;
+  }
 
   /// Adds `g` directly between a node and ground (used for gmin).
-  void shunt_to_ground(NodeId a, double g);
+  void shunt_to_ground(NodeId a, double g) {
+    const int ra = row_of(a);
+    if (ra >= 0) jac(static_cast<size_t>(ra), static_cast<size_t>(ra)) += g;
+  }
 
  private:
   int row_of(NodeId n) const { return n.value - 1; }  // -1 == ground, skipped
   size_t branch_row(size_t branch) const { return node_unknowns_ + branch; }
 
+  double& jac(size_t r, size_t c) {
+    if (pattern_ != nullptr) pattern_[r * j_.cols() + c] = 1;
+    return j_.at(r, c);
+  }
+
   Matrix& j_;
   Vector& rhs_;
   size_t node_unknowns_;
+  uint8_t* pattern_ = nullptr;
 };
 
 class Device {

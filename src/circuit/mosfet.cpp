@@ -12,7 +12,10 @@ Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
   refresh_caps();
 }
 
-void Mosfet::refresh_caps() { caps_ = ekv_capacitances(*card_, params_); }
+void Mosfet::refresh_caps() {
+  caps_ = ekv_capacitances(*card_, params_);
+  derived_ = ekv_derive(*card_, params_);
+}
 
 void Mosfet::load(Stamper& stamper, const LoadContext& ctx) const {
   const double vd = ctx.node_voltage(d_);
@@ -26,9 +29,9 @@ void Mosfet::load(Stamper& stamper, const LoadContext& ctx) const {
   // flip), so only `id` changes sign below.
   MosEval e;
   if (card_->is_nmos) {
-    e = ekv_evaluate(*card_, params_, vg - vb, vd - vb, vs - vb);
+    e = ekv_evaluate(*card_, derived_, vg - vb, vd - vb, vs - vb);
   } else {
-    e = ekv_evaluate(*card_, params_, vb - vg, vb - vd, vb - vs);
+    e = ekv_evaluate(*card_, derived_, vb - vg, vb - vd, vb - vs);
     e.id = -e.id;
   }
 

@@ -24,7 +24,9 @@ class Mosfet : public Device {
   MosInstanceParams& mutable_params() { return params_; }
   const MosModelCard& model() const { return *card_; }
 
-  /// Re-derives capacitances after params() changed (Leff variation).
+  /// Re-derives capacitances and the cached DC instance constants after
+  /// params() changed (Leff / Vt variation). Every code path that mutates
+  /// params calls this, so the caches can never go stale.
   void refresh_caps();
 
  private:
@@ -32,6 +34,7 @@ class Mosfet : public Device {
   const MosModelCard* card_;
   MosInstanceParams params_;
   MosCaps caps_;
+  MosDerived derived_;
 };
 
 }  // namespace rotsv

@@ -15,8 +15,13 @@ GroupDiagnosisResult diagnose_group(RingOscillator& dut,
           "diagnose_group: DUT group size mismatch");
   GroupDiagnosisResult result;
 
+  // Both phases run at one VDD on one DUT, so the bypass-all reference is
+  // measured once and shared: a dirty group costs 2 + N transients instead
+  // of 2 + 2N, with bit-identical dT values.
+  RoReferenceCache cache(dut, config.run);
+
   // Phase 1: whole-group screen (M = N), one T1/T2 pair.
-  const DeltaTResult group = measure_delta_t(dut, config.group_size, config.run);
+  const DeltaTResult group = cache.measure_delta_t(config.group_size);
   result.measurements_used = 1;
   if (group.stuck) {
     result.group_stuck = true;
@@ -32,7 +37,7 @@ GroupDiagnosisResult diagnose_group(RingOscillator& dut,
   // same way: bypassing the leaky segment revives the ring, so the stuck
   // TSV is the one whose single-TSV run still fails.
   for (int i = 0; i < config.group_size; ++i) {
-    const DeltaTResult single = measure_delta_t_single(dut, i, config.run);
+    const DeltaTResult single = cache.measure_delta_t_single(i);
     result.measurements_used++;
     TsvDiagnosis diag;
     diag.tsv_index = i;

@@ -1,5 +1,8 @@
 #include "core/tester.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -118,6 +121,79 @@ TestReport PreBondTsvTester::test_die_tsv(const TsvFault& fault, Rng& rng) const
   }
   report.verdict = combine_verdicts(report.readings);
   return report;
+}
+
+DieTestReport PreBondTsvTester::test_die(const std::vector<TsvFault>& faults,
+                                         Rng& rng) const {
+  require(calibrated(), "test_die: calibrate() first (or set_band for each voltage)");
+  require(!faults.empty(), "test_die: at least one TSV fault entry required");
+
+  DieTestReport die;
+  die.tsvs.resize(faults.size());
+  const size_t group = static_cast<size_t>(config_.group_size);
+  for (size_t base = 0; base < faults.size(); base += group) {
+    const size_t count = std::min(group, faults.size() - base);
+
+    // One ring per group of TSVs: one variation sample shared by the group,
+    // as on a physical die where group_size TSVs wire into one oscillator.
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = config_.group_size;
+    cfg.tech = config_.tech;
+    cfg.faults.assign(faults.begin() + static_cast<long>(base),
+                      faults.begin() + static_cast<long>(base + count));
+    cfg.vdd = config_.voltages.front();
+    RingOscillator ro(cfg);
+    ro.apply_variation(config_.variation, rng);
+
+    // The memoized reference makes the group cost (count + 1) transients per
+    // voltage instead of 2 * count: per-TSV T1 runs share one T2 run.
+    RoReferenceCache cache(ro, config_.run);
+
+    std::vector<TestReport> reports(count);
+    bool ring_ok = true;
+    try {
+      for (size_t vi = 0; vi < config_.voltages.size(); ++vi) {
+        const double vdd = config_.voltages[vi];
+        ro.set_vdd(vdd);
+        for (size_t ti = 0; ti < count; ++ti) {
+          const DeltaTResult d =
+              cache.measure_delta_t_single(static_cast<int>(ti));
+          reports[ti].sim_steps += d.sim_steps;
+
+          VoltageReading reading;
+          reading.vdd = vdd;
+          if (d.stuck) {
+            reading.stuck = true;
+            reading.verdict = TsvVerdict::kStuck;
+          } else {
+            reading.t1 = quantize_period(d.t1, rng);
+            reading.t2 = quantize_period(d.t2, rng);
+            reading.delta_t = reading.t1 - reading.t2;
+            reading.verdict = classifiers_[vi]->classify(reading.delta_t);
+          }
+          reports[ti].readings.push_back(reading);
+        }
+      }
+    } catch (const Error&) {
+      // The ring's bypass-all reference run cannot oscillate: its DfT
+      // hardware is broken, so every TSV it carries is scrapped as stuck
+      // rather than aborting the die (or the lot).
+      ring_ok = false;
+    }
+
+    for (size_t ti = 0; ti < count; ++ti) {
+      TestReport& out = die.tsvs[base + ti];
+      if (ring_ok) {
+        out = std::move(reports[ti]);
+        out.verdict = combine_verdicts(out.readings);
+        die.sim_steps += out.sim_steps;
+      } else {
+        out = TestReport{};
+        out.verdict = TsvVerdict::kStuck;
+      }
+    }
+  }
+  return die;
 }
 
 TsvVerdict combine_verdicts(const std::vector<VoltageReading>& readings) {

@@ -59,6 +59,16 @@ struct TestReport {
   std::string describe() const;
 };
 
+/// test_die() output: one TestReport per TSV, in the order the faults were
+/// given, plus die-level work accounting.
+struct DieTestReport {
+  std::vector<TestReport> tsvs;
+  /// Accepted transient steps for the whole die. Each bypass-all reference
+  /// run is counted once, not once per TSV -- the memoized reference is the
+  /// point of the per-die API.
+  size_t sim_steps = 0;
+};
+
 class PreBondTsvTester {
  public:
   explicit PreBondTsvTester(const TesterConfig& config);
@@ -76,6 +86,16 @@ class PreBondTsvTester {
   /// Tests one die whose TSV 0 carries `fault`; `rng` draws the die's
   /// process-variation sample and the counter phases.
   TestReport test_die_tsv(const TsvFault& fault, Rng& rng) const;
+
+  /// Tests one die with `faults.size()` TSVs (one fault entry per TSV,
+  /// TsvFault::none() for healthy ones). TSVs are tested in rings of
+  /// group_size; each ring gets one process-variation sample from `rng` and
+  /// shares one memoized bypass-all reference run per voltage, so a ring of
+  /// N TSVs costs N+1 transients per voltage instead of 2N. A ring whose
+  /// reference run fails marks all of its TSVs stuck (broken DfT hardware)
+  /// without aborting the die. For a single-TSV die this consumes `rng`
+  /// identically to test_die_tsv and returns the same readings.
+  DieTestReport test_die(const std::vector<TsvFault>& faults, Rng& rng) const;
 
   const DeltaTClassifier& classifier(size_t voltage_index) const;
   const TesterConfig& config() const { return config_; }

@@ -1,16 +1,50 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace rotsv {
 
-LuFactorization::LuFactorization(const Matrix& a, double pivot_tol)
-    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+LuFactorization::LuFactorization(const Matrix& a, double pivot_tol) {
+  refactor(a, nullptr, pivot_tol);
+}
+
+void LuFactorization::refactor(const Matrix& a, const uint8_t* structure,
+                               double pivot_tol) {
   if (a.rows() != a.cols()) throw Error("LU: matrix must be square");
+  if (a.rows() != n_) {
+    n_ = a.rows();
+    lu_ = Matrix(n_, n_);
+    perm_.assign(n_, 0);
+    scratch_.assign(n_, 0.0);
+    factored_ = false;
+    have_symbolic_ = false;
+  }
+  ++factorizations_;
+
+  if (structure != nullptr && factored_ && have_symbolic_) {
+    if (factor_frozen(a, pivot_tol)) return;
+  }
+
+  // First factorization, no structure, or the frozen pivot order went bad:
+  // full partial pivoting. Invalidate state first so a singular-matrix throw
+  // cannot leave a half-updated permutation behind a valid-looking flag.
+  factored_ = false;
+  have_symbolic_ = false;
+  ++full_factorizations_;
+  factor_full(a, pivot_tol);
+  factored_ = true;
+  if (structure != nullptr) build_symbolic(structure);
+}
+
+void LuFactorization::factor_full(const Matrix& a, double pivot_tol) {
+  lu_ = a;
   for (size_t i = 0; i < n_; ++i) perm_[i] = i;
+  perm_sign_ = 1;
 
   for (size_t k = 0; k < n_; ++k) {
     // Partial pivoting: find the largest |entry| in column k at/below row k.
@@ -46,6 +80,117 @@ LuFactorization::LuFactorization(const Matrix& a, double pivot_tol)
   }
 }
 
+void LuFactorization::build_symbolic(const uint8_t* structure) {
+  // Boolean Gaussian elimination of the structure under the frozen row
+  // permutation: work(i, j) = structure(perm_[i], j), then every elimination
+  // step propagates row k's pattern into the rows it updates. The result is
+  // the fill-in-complete pattern of L and U for this pivot ordering.
+  std::vector<uint8_t> work(n_ * n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    std::memcpy(work.data() + i * n_, structure + perm_[i] * n_, n_);
+  }
+  // The numeric factorization found a nonzero pivot at every (k, k), so the
+  // eliminated pattern must cover the diagonal; assert that cheaply by
+  // marking it (a miss would mean `structure` was not a superset of A).
+  for (size_t k = 0; k < n_; ++k) work[k * n_ + k] = 1;
+
+  for (size_t k = 0; k < n_; ++k) {
+    const uint8_t* src = work.data() + k * n_;
+    for (size_t r = k + 1; r < n_; ++r) {
+      uint8_t* dst = work.data() + r * n_;
+      if (!dst[k]) continue;
+      for (size_t c = k + 1; c < n_; ++c) dst[c] |= src[c];
+    }
+  }
+
+  // Gather per-row/per-column lists, then flatten to the CSR layout the hot
+  // loops consume. This path runs once per pivot ordering, so clarity beats
+  // speed here.
+  std::vector<std::vector<uint32_t>> lrows(n_), ucols(n_), lcols_row(n_),
+      rowcols(n_);
+  for (size_t k = 0; k < n_; ++k) {
+    const uint8_t* rowp = work.data() + k * n_;
+    for (size_t c = k + 1; c < n_; ++c) {
+      if (rowp[c]) ucols[k].push_back(static_cast<uint32_t>(c));
+    }
+    for (size_t j = 0; j < k; ++j) {
+      if (rowp[j]) {
+        lcols_row[k].push_back(static_cast<uint32_t>(j));
+        lrows[j].push_back(static_cast<uint32_t>(k));
+      }
+    }
+    // Full pattern of row k (L part, diagonal, U part): the only positions a
+    // frozen refactorization ever reads or writes, so only these need to be
+    // refreshed from A when the values change.
+    for (size_t c = 0; c < n_; ++c) {
+      if (rowp[c]) rowcols[k].push_back(static_cast<uint32_t>(c));
+    }
+  }
+  const auto flatten = [this](const std::vector<std::vector<uint32_t>>& lists,
+                              IndexLists* out) {
+    out->offsets.assign(n_ + 1, 0);
+    out->data.clear();
+    for (size_t k = 0; k < n_; ++k) {
+      out->data.insert(out->data.end(), lists[k].begin(), lists[k].end());
+      out->offsets[k + 1] = static_cast<uint32_t>(out->data.size());
+    }
+  };
+  flatten(lrows, &lrows_);
+  flatten(ucols, &ucols_);
+  flatten(lcols_row, &lcols_row_);
+  flatten(rowcols, &rowcols_);
+  have_symbolic_ = true;
+}
+
+bool LuFactorization::factor_frozen(const Matrix& a, double pivot_tol) {
+  // Refresh the structural entries of A, rows pre-permuted so elimination
+  // needs no swaps. Positions outside the pattern are exact zeros in A and
+  // are never read by the frozen elimination, the sparse solves or
+  // determinant(), so whatever the previous factorization left there can
+  // stay. Fill-in positions read A's (structurally zero) value, i.e. 0.0.
+  for (size_t i = 0; i < n_; ++i) {
+    const double* src_row = a.row(perm_[i]);
+    double* dst_row = lu_.row(i);
+    const uint32_t* cend = rowcols_.end(i);
+    for (const uint32_t* c = rowcols_.begin(i); c != cend; ++c) {
+      dst_row[*c] = src_row[*c];
+    }
+  }
+
+  for (size_t k = 0; k < n_; ++k) {
+    // Ratio pivot test: the frozen pivot must be usable in absolute terms and
+    // not vanishingly small next to the column entries it has to eliminate;
+    // otherwise the matrix drifted too far and the caller redoes full
+    // pivoting. Skipping structural zeros below is exact: their update terms
+    // are identically 0, so the result matches the dense elimination that a
+    // full factorization with this same permutation would produce.
+    const uint32_t* lbegin = lrows_.begin(k);
+    const uint32_t* lend = lrows_.end(k);
+    const double pivot = lu_.at(k, k);
+    const double pivot_mag = std::fabs(pivot);
+    double col_max = pivot_mag;
+    for (const uint32_t* r = lbegin; r != lend; ++r) {
+      col_max = std::max(col_max, std::fabs(lu_.at(*r, k)));
+    }
+    if (pivot_mag < pivot_tol || pivot_mag < 1e-3 * col_max) return false;
+
+    const double inv_pivot = 1.0 / pivot;
+    const double* src = lu_.row(k);
+    const uint32_t* ubegin = ucols_.begin(k);
+    const uint32_t* uend = ucols_.end(k);
+    for (const uint32_t* r = lbegin; r != lend; ++r) {
+      double* dst = lu_.row(*r);
+      const double factor = dst[k] * inv_pivot;
+      dst[k] = factor;
+      if (factor == 0.0) continue;
+      for (const uint32_t* c = ubegin; c != uend; ++c) {
+        dst[*c] -= factor * src[*c];
+      }
+    }
+  }
+  return true;
+}
+
 Vector LuFactorization::solve(const Vector& b) const {
   Vector x = b;
   solve_in_place(x);
@@ -54,24 +199,51 @@ Vector LuFactorization::solve(const Vector& b) const {
 
 void LuFactorization::solve_in_place(Vector& b) const {
   if (b.size() != n_) throw Error("LU solve: dimension mismatch");
-  // Apply the row permutation.
-  Vector y(n_);
+  // Apply the row permutation into the reused scratch buffer. Note: the
+  // shared scratch makes concurrent solves on one object racy; every user
+  // (Newton workspaces, one-shot solves) owns its factorization per thread.
+  Vector& y = scratch_;
+  y.resize(n_);
   for (size_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
-  // Forward substitution (L has unit diagonal).
-  for (size_t i = 1; i < n_; ++i) {
-    const double* rowp = lu_.row(i);
-    double acc = y[i];
-    for (size_t j = 0; j < i; ++j) acc -= rowp[j] * y[j];
-    y[i] = acc;
+
+  if (have_symbolic_) {
+    // Sparse substitution over the symbolic pattern (identical arithmetic to
+    // the dense loops; the skipped coefficients are exact zeros).
+    for (size_t i = 1; i < n_; ++i) {
+      const double* rowp = lu_.row(i);
+      double acc = y[i];
+      const uint32_t* jend = lcols_row_.end(i);
+      for (const uint32_t* j = lcols_row_.begin(i); j != jend; ++j) {
+        acc -= rowp[*j] * y[*j];
+      }
+      y[i] = acc;
+    }
+    for (size_t ii = n_; ii-- > 0;) {
+      const double* rowp = lu_.row(ii);
+      double acc = y[ii];
+      const uint32_t* jend = ucols_.end(ii);
+      for (const uint32_t* j = ucols_.begin(ii); j != jend; ++j) {
+        acc -= rowp[*j] * y[*j];
+      }
+      y[ii] = acc / rowp[ii];
+    }
+  } else {
+    // Forward substitution (L has unit diagonal).
+    for (size_t i = 1; i < n_; ++i) {
+      const double* rowp = lu_.row(i);
+      double acc = y[i];
+      for (size_t j = 0; j < i; ++j) acc -= rowp[j] * y[j];
+      y[i] = acc;
+    }
+    // Back substitution.
+    for (size_t ii = n_; ii-- > 0;) {
+      const double* rowp = lu_.row(ii);
+      double acc = y[ii];
+      for (size_t j = ii + 1; j < n_; ++j) acc -= rowp[j] * y[j];
+      y[ii] = acc / rowp[ii];
+    }
   }
-  // Back substitution.
-  for (size_t ii = n_; ii-- > 0;) {
-    const double* rowp = lu_.row(ii);
-    double acc = y[ii];
-    for (size_t j = ii + 1; j < n_; ++j) acc -= rowp[j] * y[j];
-    y[ii] = acc / rowp[ii];
-  }
-  b = std::move(y);
+  b.swap(y);
 }
 
 double LuFactorization::determinant() const {

@@ -1,7 +1,29 @@
 // LU factorization with partial pivoting, the linear-solver core of the MNA
 // Newton iteration. Factorization is in-place over a copy of A so the caller's
 // matrix can be re-stamped each Newton step.
+//
+// Two operating modes:
+//  * One-shot: `LuFactorization lu(a)` factors with fresh partial pivoting
+//    (allocates its own storage). This is the right call for single solves.
+//  * Workspace reuse: a default-constructed object plus `refactor(a, ...)`
+//    re-uses the LU storage, the permutation buffer and the substitution
+//    scratch across calls, so the Newton hot loop performs zero allocations
+//    after the first factorization of a given system size.
+//
+// `refactor` additionally accepts the *structural* nonzero pattern of A.
+// The first factorization then runs full partial pivoting and derives a
+// symbolic elimination pattern (fill included) for the chosen pivot ordering;
+// subsequent refactorizations keep that ordering frozen and touch only the
+// structurally nonzero entries -- the classic circuit-simulator trick (the
+// Jacobian sparsity never changes between Newton iterations, and its values
+// drift slowly, so yesterday's pivot order is almost always still good).
+// Every frozen-order pass is guarded by a pivot ratio test; when the matrix
+// has drifted enough that a frozen pivot goes bad, the call transparently
+// falls back to a fresh partial-pivoting factorization and re-derives the
+// symbolic pattern.
 #pragma once
+
+#include <cstdint>
 
 #include "linalg/matrix.hpp"
 
@@ -9,9 +31,22 @@ namespace rotsv {
 
 class LuFactorization {
  public:
+  /// Empty factorization; call refactor() before solving.
+  LuFactorization() = default;
+
   /// Factors a square matrix. Throws ConvergenceError when the matrix is
   /// numerically singular (pivot below `pivot_tol`).
   explicit LuFactorization(const Matrix& a, double pivot_tol = 1e-13);
+
+  /// In-place refactorization. Reuses internal storage and, when `structure`
+  /// is provided, the pivot ordering of the previous factorization as its
+  /// starting point (see file comment). `structure`, when non-null, points at
+  /// rows()*cols() bytes in row-major order where nonzero marks a position of
+  /// A that can ever be structurally nonzero; the same array must be passed
+  /// for every refactorization of a given system. Throws ConvergenceError on
+  /// a numerically singular matrix.
+  void refactor(const Matrix& a, const uint8_t* structure = nullptr,
+                double pivot_tol = 1e-13);
 
   /// Solves A x = b for one right-hand side.
   Vector solve(const Vector& b) const;
@@ -24,11 +59,50 @@ class LuFactorization {
   /// Determinant of the factored matrix (sign included).
   double determinant() const;
 
+  /// Total factorization passes performed by this object.
+  uint64_t factorizations() const { return factorizations_; }
+  /// Full partial-pivoting passes (first factorization, size changes and
+  /// pivot-ratio fallbacks); the remainder reused the frozen pivot ordering.
+  uint64_t full_factorizations() const { return full_factorizations_; }
+
  private:
+  /// Fresh partial-pivoting factorization of `a` into the existing buffers.
+  void factor_full(const Matrix& a, double pivot_tol);
+  /// Frozen-ordering factorization over the symbolic pattern. Returns false
+  /// (without touching perm_) when a pivot fails the ratio test.
+  bool factor_frozen(const Matrix& a, double pivot_tol);
+  /// Boolean elimination of `structure` under perm_: builds the per-column
+  /// row/column lists (fill included) used by factor_frozen and the solves.
+  void build_symbolic(const uint8_t* structure);
+
   size_t n_ = 0;
   Matrix lu_;
   std::vector<size_t> perm_;
   int perm_sign_ = 1;
+  bool factored_ = false;
+
+  /// Compressed per-row/per-column index lists (CSR-style: one contiguous
+  /// data array plus n+1 offsets). Flat storage keeps the frozen refactor and
+  /// the sparse solves free of per-row pointer chasing.
+  struct IndexLists {
+    std::vector<uint32_t> offsets;  ///< size n+1
+    std::vector<uint32_t> data;
+
+    const uint32_t* begin(size_t k) const { return data.data() + offsets[k]; }
+    const uint32_t* end(size_t k) const { return data.data() + offsets[k + 1]; }
+  };
+
+  // Symbolic pattern for the frozen pivot ordering.
+  bool have_symbolic_ = false;
+  IndexLists lrows_;      ///< per col k: rows r>k with L(r,k) != 0
+  IndexLists ucols_;      ///< per row k: cols c>k with U(k,c) != 0
+  IndexLists lcols_row_;  ///< per row r: cols j<r with L(r,j) != 0
+  IndexLists rowcols_;    ///< per row r: full pattern (L, diag, U)
+
+  mutable Vector scratch_;  ///< substitution buffer (reused across solves)
+
+  uint64_t factorizations_ = 0;
+  uint64_t full_factorizations_ = 0;
 };
 
 /// One-shot convenience: solves A x = b.

@@ -22,28 +22,67 @@ double sigmoid(double x) {
   return e / (1.0 + e);
 }
 
+void softplus_sigmoid(double x, double* sp, double* sg) {
+  if (x >= 0.0) {
+    // exp(x) and exp(-x) are not reciprocal bit for bit, so the non-negative
+    // side keeps both calls exactly as the standalone functions make them.
+    *sp = x > 35.0 ? x : std::log1p(std::exp(x));
+    const double e = std::exp(-std::min(x, 700.0));
+    *sg = 1.0 / (1.0 + e);
+    return;
+  }
+  if (x >= -700.0) {
+    // Both standalone functions evaluate exp(x) here (sigmoid's clamp is a
+    // no-op above -700); share it.
+    const double e = std::exp(x);
+    *sp = x < -35.0 ? e : std::log1p(e);
+    *sg = e / (1.0 + e);
+    return;
+  }
+  // Below the clamp the two calls diverge: softplus lets exp underflow raw,
+  // sigmoid clamps its argument.
+  *sp = std::exp(x);
+  const double e = std::exp(-700.0);
+  *sg = e / (1.0 + e);
+}
+
+MosDerived ekv_derive(const MosModelCard& card, const MosInstanceParams& inst) {
+  MosDerived d;
+  const double ut = card.ut;
+  const double n = card.n_slope;
+  d.leff = std::max(inst.l * inst.l_scale, 1e-9);
+  d.beta = card.kp * inst.w / d.leff;
+  d.i_spec = 2.0 * n * d.beta * ut * ut;
+  d.vt = card.vt0 + inst.delta_vt;
+  return d;
+}
+
 MosEval ekv_evaluate(const MosModelCard& card, const MosInstanceParams& inst,
+                     double vg, double vd, double vs) {
+  return ekv_evaluate(card, ekv_derive(card, inst), vg, vd, vs);
+}
+
+MosEval ekv_evaluate(const MosModelCard& card, const MosDerived& derived,
                      double vg, double vd, double vs) {
   const double ut = card.ut;
   const double n = card.n_slope;
-  const double leff = std::max(inst.l * inst.l_scale, 1e-9);
-  const double beta = card.kp * inst.w / leff;
-  const double i_spec = 2.0 * n * beta * ut * ut;
+  const double i_spec = derived.i_spec;
 
   // Pinch-off voltage (linearized EKV): VP = (VG - VT0) / n.
-  const double vt = card.vt0 + inst.delta_vt;
+  const double vt = derived.vt;
   const double vp = (vg - vt) / n;
 
   // Forward / reverse normalized currents: F(u) = ln^2(1 + e^{u/2}).
   const double uf = (vp - vs) / ut;
   const double ur = (vp - vd) / ut;
-  const double lf = softplus(uf * 0.5);
-  const double lr = softplus(ur * 0.5);
+  double lf, sf, lr, sr;
+  softplus_sigmoid(uf * 0.5, &lf, &sf);
+  softplus_sigmoid(ur * 0.5, &lr, &sr);
   const double i_f = lf * lf;
   const double i_r = lr * lr;
   // dF/du = ln(1+e^{u/2}) * sigmoid(u/2).
-  const double dff = lf * sigmoid(uf * 0.5);
-  const double dfr = lr * sigmoid(ur * 0.5);
+  const double dff = lf * sf;
+  const double dfr = lr * sr;
 
   const double a = i_spec * (i_f - i_r);
   const double da_dvg = i_spec * (dff - dfr) / (n * ut);
@@ -53,8 +92,9 @@ MosEval ekv_evaluate(const MosModelCard& card, const MosInstanceParams& inst,
   // Channel-length modulation on a smooth |vds|.
   const double vds = vd - vs;
   const double eps = 1e-3;
-  const double vds_s = std::sqrt(vds * vds + eps * eps) - eps;
-  const double dvds_s = vds / std::sqrt(vds * vds + eps * eps);
+  const double vds_root = std::sqrt(vds * vds + eps * eps);
+  const double vds_s = vds_root - eps;
+  const double dvds_s = vds / vds_root;
   const double b = 1.0 + card.lambda * vds_s;
   const double db_dvd = card.lambda * dvds_s;
   const double db_dvs = -db_dvd;
@@ -63,14 +103,22 @@ MosEval ekv_evaluate(const MosModelCard& card, const MosInstanceParams& inst,
   // lower (more conducting) of source/drain through a smooth-min so the model
   // stays symmetric under drain/source swap -- pass gates and bidirectional
   // I/O cells rely on that -- while reducing to the usual source-referenced
-  // overdrive in saturation.
+  // overdrive in saturation. When delta_sd >= 0 the softplus and sigmoid
+  // arguments coincide (-|x| == -x), so the pair fuses too.
   const double delta_sd = vs - vd;
-  const double v_low = std::min(vs, vd) - ut * softplus(-std::fabs(delta_sd) / ut);
-  const double w_s = sigmoid(-delta_sd / ut);  // weight of vs in the smooth-min
+  double sp_min, w_s;
+  if (delta_sd >= 0.0) {
+    softplus_sigmoid(-delta_sd / ut, &sp_min, &w_s);
+  } else {
+    sp_min = softplus(-std::fabs(delta_sd) / ut);
+    w_s = sigmoid(-delta_sd / ut);
+  }
+  const double v_low = std::min(vs, vd) - ut * sp_min;
   const double w_d = 1.0 - w_s;
   const double x_ov = (vg - vt - v_low) / ut;
-  const double vov = ut * softplus(x_ov);
-  const double s_ov = sigmoid(x_ov);
+  double sp_ov, s_ov;
+  softplus_sigmoid(x_ov, &sp_ov, &s_ov);
+  const double vov = ut * sp_ov;
   const double d = 1.0 + card.theta * vov;
   const double dd_dvg = card.theta * s_ov;
   const double dd_dvs = -dd_dvg * w_s;

@@ -55,15 +55,40 @@ struct MosEval {
   double g_s = 0.0;  ///< dId/dVs
 };
 
+/// Instance constants that depend only on (card, params): hoisted out of the
+/// per-voltage evaluation so a device whose parameters are fixed for a whole
+/// transient pays for them once. Every field is computed with the exact
+/// expression the evaluator previously used inline, so caching is bitwise
+/// neutral.
+struct MosDerived {
+  double leff = 0.0;    ///< max(l * l_scale, 1e-9)
+  double beta = 0.0;    ///< kp * w / leff
+  double i_spec = 0.0;  ///< 2 n beta ut^2
+  double vt = 0.0;      ///< vt0 + delta_vt
+};
+MosDerived ekv_derive(const MosModelCard& card, const MosInstanceParams& inst);
+
 /// Evaluates the model at bulk-referenced voltages (vg, vd, vs).
 /// Symmetric: swapping vd/vs negates id.
 MosEval ekv_evaluate(const MosModelCard& card, const MosInstanceParams& inst,
+                     double vg, double vd, double vs);
+
+/// Hot-path variant taking precomputed instance constants; identical results
+/// to the convenience overload above, bit for bit.
+MosEval ekv_evaluate(const MosModelCard& card, const MosDerived& derived,
                      double vg, double vd, double vs);
 
 /// Numerically-stable softplus ln(1 + e^x) and logistic sigmoid; exposed for
 /// tests of the model's building blocks.
 double softplus(double x);
 double sigmoid(double x);
+
+/// Fused evaluation of softplus(x) and sigmoid(x) at the same argument.
+/// Bitwise identical to the two separate calls; for x < 0 (down to the -700
+/// clamp) both reduce to the same exp(x), which is computed once -- the
+/// evaluator calls this three times per operating point, so the shared exp is
+/// a measurable win on mostly-off devices.
+void softplus_sigmoid(double x, double* sp, double* sg);
 
 /// Device capacitances derived from geometry (linear approximation).
 struct MosCaps {

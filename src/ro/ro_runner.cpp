@@ -52,6 +52,9 @@ RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options) {
   retry.stats.steps_accepted += m.stats.steps_accepted;
   retry.stats.steps_rejected += m.stats.steps_rejected;
   retry.stats.newton_iterations += m.stats.newton_iterations;
+  retry.stats.lu_factorizations += m.stats.lu_factorizations;
+  retry.stats.lu_full_factorizations += m.stats.lu_full_factorizations;
+  retry.stats.workspace_allocations += m.stats.workspace_allocations;
   return retry;
 }
 
@@ -108,6 +111,59 @@ DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
   result.t1 = t1.period;
   result.delta_t = t1.period - t2.period;
   return result;
+}
+
+const RoMeasurement& RoReferenceCache::reference() {
+  ro_.bypass_all();
+  auto it = references_.find(ro_.vdd());
+  if (it == references_.end()) {
+    RoMeasurement m = measure_period(ro_, options_);
+    ++reference_runs_;
+    if (!m.oscillating) {
+      // The reference run must oscillate; if not, the DfT itself is broken.
+      // Deliberately not cached: a later call re-runs and re-throws, which
+      // is exactly what the unmemoized functions do.
+      throw ConvergenceError(
+          "measure_delta_t: bypass-all reference run does not oscillate");
+    }
+    it = references_.emplace(ro_.vdd(), std::move(m)).first;
+  }
+  return it->second;
+}
+
+DeltaTResult RoReferenceCache::finish(const RoMeasurement& t1, size_t t1_steps) {
+  DeltaTResult result;
+  result.sim_steps = t1_steps;
+  const size_t misses_before = reference_runs_;
+  const RoMeasurement& t2 = reference();
+  if (reference_runs_ != misses_before) {
+    result.sim_steps += t2.stats.steps_accepted;
+  }
+  result.t2 = t2.period;
+  if (!t1.oscillating) {
+    result.stuck = true;
+    return result;
+  }
+  result.valid = true;
+  result.t1 = t1.period;
+  result.delta_t = t1.period - t2.period;
+  return result;
+}
+
+DeltaTResult RoReferenceCache::measure_delta_t(int enabled_tsvs) {
+  require(enabled_tsvs >= 1 && enabled_tsvs <= ro_.config().num_tsvs,
+          "measure_delta_t: enabled_tsvs out of range");
+  ro_.enable_first(enabled_tsvs);
+  const RoMeasurement t1 = measure_period(ro_, options_);
+  return finish(t1, t1.stats.steps_accepted);
+}
+
+DeltaTResult RoReferenceCache::measure_delta_t_single(int tsv_index) {
+  require(tsv_index >= 0 && tsv_index < ro_.config().num_tsvs,
+          "measure_delta_t_single: index out of range");
+  ro_.enable_only(tsv_index);
+  const RoMeasurement t1 = measure_period(ro_, options_);
+  return finish(t1, t1.stats.steps_accepted);
 }
 
 TransientResult capture_waveforms(RingOscillator& ro, double t_stop,

@@ -7,6 +7,8 @@
 //   dT = T1 - T2   -- cancels the shared-path delay and most process spread.
 #pragma once
 
+#include <map>
+
 #include "ro/ring_oscillator.hpp"
 #include "sim/measure.hpp"
 #include "sim/transient.hpp"
@@ -57,6 +59,46 @@ DeltaTResult measure_delta_t(RingOscillator& ro, int enabled_tsvs,
 /// Same, enabling exactly one TSV (index) -- the per-TSV test.
 DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
                                     const RoRunOptions& options = {});
+
+/// Memoizes the bypass-all reference (T2) run across the measurements of one
+/// DUT: for a fixed (process-variation sample, VDD) the reference transient
+/// is identical for every TSV, so testing N TSVs costs N+1 transients
+/// instead of 2N. Results are bit-identical to the free functions above --
+/// the cached RoMeasurement is literally the one a repeat run would compute,
+/// and the ring is still left in the bypass-all state after every call.
+///
+/// The cache is keyed by the ring's exact VDD. It does NOT observe variation
+/// or fault changes: call invalidate() (or build a fresh cache, which is
+/// what the tester does per die) after apply_variation() or any other
+/// reconfiguration of the DUT.
+class RoReferenceCache {
+ public:
+  explicit RoReferenceCache(RingOscillator& ro, const RoRunOptions& options = {})
+      : ro_(ro), options_(options) {}
+
+  /// measure_delta_t / measure_delta_t_single with the memoized reference.
+  /// DeltaTResult::sim_steps includes the reference run's steps only when
+  /// this call actually performed it (cache miss), so throughput accounting
+  /// reflects the work done, not the work avoided.
+  DeltaTResult measure_delta_t(int enabled_tsvs);
+  DeltaTResult measure_delta_t_single(int tsv_index);
+
+  void invalidate() { references_.clear(); }
+  /// Reference transients actually run (cache misses).
+  size_t reference_runs() const { return reference_runs_; }
+
+ private:
+  /// Returns the reference measurement for the ring's current VDD, running
+  /// it on a miss; always leaves the ring bypassed-all. Throws
+  /// ConvergenceError when the reference does not oscillate (broken DfT).
+  const RoMeasurement& reference();
+  DeltaTResult finish(const RoMeasurement& t1, size_t t1_steps);
+
+  RingOscillator& ro_;
+  RoRunOptions options_;
+  std::map<double, RoMeasurement> references_;  ///< keyed by exact VDD
+  size_t reference_runs_ = 0;
+};
 
 /// Captures the transient waveforms of the current configuration (used by
 /// the Fig. 4 waveform bench and for debugging).

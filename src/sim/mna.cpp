@@ -9,10 +9,31 @@ MnaSystem::MnaSystem(const Circuit& circuit)
       jacobian_(circuit.unknown_count(), circuit.unknown_count()),
       rhs_(circuit.unknown_count(), 0.0) {}
 
-void MnaSystem::assemble(const LoadContext& ctx) {
+void MnaSystem::assemble(const LoadContext& ctx) { assemble_impl(ctx, nullptr); }
+
+void MnaSystem::capture_pattern(const LoadContext& ctx,
+                                std::vector<uint8_t>* pattern) {
+  pattern->assign(total_unknowns_ * total_unknowns_, 0);
+  assemble_impl(ctx, pattern->data());
+}
+
+void MnaSystem::assemble_impl(const LoadContext& ctx, uint8_t* pattern) {
   jacobian_.clear();
   std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  stamp_all(ctx, pattern);
+}
+
+void MnaSystem::assemble_sparse(const LoadContext& ctx,
+                                const std::vector<uint32_t>& positions) {
+  double* base = jacobian_.row(0);
+  for (uint32_t p : positions) base[p] = 0.0;
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  stamp_all(ctx, nullptr);
+}
+
+void MnaSystem::stamp_all(const LoadContext& ctx, uint8_t* pattern) {
   Stamper stamper(jacobian_, rhs_, node_unknowns_);
+  if (pattern != nullptr) stamper.set_pattern(pattern);
   for (const auto& device : circuit_.devices()) {
     device->load(stamper, ctx);
   }

@@ -2,6 +2,8 @@
 // LoadContext into the dense Jacobian / RHS pair solved by Newton.
 #pragma once
 
+#include <cstdint>
+
 #include "circuit/circuit.hpp"
 #include "linalg/matrix.hpp"
 
@@ -15,6 +17,25 @@ class MnaSystem {
   /// `ctx.v_prev` must point at node-indexed voltage vectors
   /// (size == circuit.nodes().size(), entry 0 = ground).
   void assemble(const LoadContext& ctx);
+
+  /// Runs one instrumented assembly for `ctx` and records the structural
+  /// Jacobian sparsity into `pattern` (total_unknowns()^2 bytes, row-major,
+  /// nonzero = position some stamp or gmin shunt writes). Stamp positions are
+  /// fixed for a given circuit and analysis kind, so the captured pattern is
+  /// valid for every later assemble() with the same kind of context. The
+  /// numeric jacobian()/rhs() afterwards hold the assembly for `ctx`.
+  void capture_pattern(const LoadContext& ctx, std::vector<uint8_t>* pattern);
+
+  /// assemble() variant that zeroes only the listed flat Jacobian positions
+  /// (row * total_unknowns + col) instead of the whole matrix. Exact under
+  /// one contract: `positions` covers every position the stamps for this kind
+  /// of context can write (i.e. it comes from capture_pattern on this system),
+  /// and the full matrix was zeroed at least once before (capture_pattern
+  /// does). Positions outside the list then hold exact zeros forever, so the
+  /// result is bit-identical to assemble() at a fraction of the memory
+  /// traffic -- the Jacobian is ~90% structural zeros for RO netlists.
+  void assemble_sparse(const LoadContext& ctx,
+                       const std::vector<uint32_t>& positions);
 
   Matrix& jacobian() { return jacobian_; }
   Vector& rhs() { return rhs_; }
@@ -31,6 +52,9 @@ class MnaSystem {
   void write_node_voltages(const Vector& solution, Vector* out) const;
 
  private:
+  void assemble_impl(const LoadContext& ctx, uint8_t* pattern);
+  void stamp_all(const LoadContext& ctx, uint8_t* pattern);
+
   const Circuit& circuit_;
   size_t node_unknowns_;
   size_t total_unknowns_;

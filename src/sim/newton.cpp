@@ -12,23 +12,61 @@ namespace rotsv {
 NewtonResult newton_solve(const Circuit& circuit, MnaSystem& mna, LoadContext ctx,
                           Vector* node_voltages, const NewtonOptions& options,
                           Vector* branch_currents) {
+  return newton_solve(circuit, mna, ctx, node_voltages, options, nullptr,
+                      branch_currents);
+}
+
+NewtonResult newton_solve(const Circuit& circuit, MnaSystem& mna, LoadContext ctx,
+                          Vector* node_voltages, const NewtonOptions& options,
+                          SolverWorkspace* workspace, Vector* branch_currents) {
   (void)circuit;  // the MnaSystem already references the circuit's devices
   const size_t n_nodes = mna.node_unknowns();
-  Vector v = *node_voltages;  // node-indexed iterate
-  if (v.size() != n_nodes + 1)
+  if (node_voltages->size() != n_nodes + 1)
     throw ConfigError("newton_solve: bad initial-guess size");
+
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace != nullptr ? *workspace : local;
+  if (ws.iterate.size() != node_voltages->size()) ++ws.allocations;
+  ws.iterate = *node_voltages;  // node-indexed iterate (no alloc when sized)
+  Vector& v = ws.iterate;
   ctx.v = &v;
   if (ctx.v_prev == nullptr) ctx.v_prev = node_voltages;
   ctx.gmin = options.gmin;
 
+  // Lazy structural-pattern capture: one instrumented assembly per analysis
+  // (persisted in the caller's workspace) buys frozen-pivot refactorization
+  // for every Newton iteration after the first. Skipped for one-shot calls
+  // where the pattern could not be reused anyway.
+  const size_t n_total = mna.total_unknowns();
+  const uint8_t* structure = nullptr;
+  if (workspace != nullptr) {
+    if (ws.structure_n != n_total) {
+      mna.capture_pattern(ctx, &ws.structure);
+      ws.reset_list.clear();
+      for (size_t p = 0; p < ws.structure.size(); ++p) {
+        if (ws.structure[p]) ws.reset_list.push_back(static_cast<uint32_t>(p));
+      }
+      ws.structure_n = n_total;
+      ++ws.allocations;
+    }
+    structure = ws.structure.data();
+  }
+
   NewtonResult result;
-  Vector solution;
+  Vector& solution = ws.solution;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    mna.assemble(ctx);
+    // Sparse re-zero + stamp when a captured pattern is available (the
+    // capture's full assembly zeroed everything outside the pattern once;
+    // nothing ever writes there again), plain assemble otherwise.
+    if (structure != nullptr) {
+      mna.assemble_sparse(ctx, ws.reset_list);
+    } else {
+      mna.assemble(ctx);
+    }
     solution = mna.rhs();
     try {
-      LuFactorization lu(mna.jacobian());
-      lu.solve_in_place(solution);
+      ws.lu.refactor(mna.jacobian(), structure);
+      ws.lu.solve_in_place(solution);
     } catch (const ConvergenceError&) {
       result.converged = false;
       result.iterations = iter + 1;

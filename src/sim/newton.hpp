@@ -2,7 +2,10 @@
 // point analysis built on it (with gmin-stepping continuation fallback).
 #pragma once
 
+#include <cstdint>
+
 #include "circuit/circuit.hpp"
+#include "linalg/lu.hpp"
 #include "sim/mna.hpp"
 
 namespace rotsv {
@@ -21,6 +24,30 @@ struct NewtonResult {
   double final_update = 0.0;  ///< inf-norm of the last node-voltage update
 };
 
+/// Reusable solver state threaded through newton_solve: the Newton iterate,
+/// the LU right-hand side / solution buffer, the LU factorization (storage
+/// plus the frozen pivot ordering reused across iterations) and the captured
+/// structural Jacobian pattern. Create one per analysis -- e.g. once per
+/// run_transient call -- and pass it to every newton_solve of that analysis;
+/// after the first iteration at a given system size the Newton hot loop
+/// performs no heap allocations and refactorizes the Jacobian in place.
+///
+/// A workspace is bound to one analysis kind (the pattern is captured under
+/// the first context it sees; DC and transient stamp different positions) and
+/// to one thread (buffers are reused without synchronization).
+struct SolverWorkspace {
+  Vector iterate;                  ///< node-indexed Newton iterate
+  Vector solution;                 ///< unknown-vector RHS/solution per solve
+  LuFactorization lu;              ///< reused storage + frozen pivot ordering
+  std::vector<uint8_t> structure;  ///< structural Jacobian pattern
+  std::vector<uint32_t> reset_list;  ///< flat positions of `structure` (for sparse re-zeroing)
+  size_t structure_n = 0;          ///< system size the pattern was captured at
+  uint64_t allocations = 0;        ///< times the buffers had to be (re)built
+
+  uint64_t lu_factorizations() const { return lu.factorizations(); }
+  uint64_t lu_full_factorizations() const { return lu.full_factorizations(); }
+};
+
 /// Runs Newton iterations for the analysis described by `ctx` (its `v` /
 /// `v_prev` pointers are managed by this function). On entry
 /// `node_voltages` is the initial guess (node-indexed, ground first);
@@ -29,6 +56,14 @@ struct NewtonResult {
 NewtonResult newton_solve(const Circuit& circuit, MnaSystem& mna, LoadContext ctx,
                           Vector* node_voltages, const NewtonOptions& options,
                           Vector* branch_currents = nullptr);
+
+/// Workspace-reusing overload: `workspace` (when non-null) supplies every
+/// buffer the iteration needs and carries the LU pivot ordering between
+/// calls. The plain overload above is equivalent to passing a fresh
+/// workspace per call.
+NewtonResult newton_solve(const Circuit& circuit, MnaSystem& mna, LoadContext ctx,
+                          Vector* node_voltages, const NewtonOptions& options,
+                          SolverWorkspace* workspace, Vector* branch_currents);
 
 struct DcOptions {
   NewtonOptions newton;

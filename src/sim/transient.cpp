@@ -55,6 +55,22 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
 
   result.waveforms.append(0.0, v_prev);
 
+  // One workspace for the whole run: every Newton iteration of every step
+  // reuses the same Jacobian/RHS/pivot buffers and frozen pivot ordering.
+  // The predictor/solution vectors are hoisted for the same reason -- the
+  // step loop performs no per-step allocation.
+  SolverWorkspace workspace;
+  Vector v_guess(v_prev.size());
+  Vector v_solved(v_prev.size());
+
+  LoadContext ctx;
+  ctx.kind = AnalysisKind::kTransient;
+
+  // `h` is the controller's step choice and is never shortened by the
+  // end-of-window clamp below; `h_step` is what a given attempt actually
+  // uses. Keeping them separate means a rejection inside a tiny final window
+  // shrinks the controller's (large) step and retries, instead of driving
+  // the clamped value under dt_min and aborting with a bogus "underflow".
   double h = options.dt_initial;
   double t = 0.0;
   bool first_step = true;
@@ -63,32 +79,32 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     if (result.stats.steps_accepted > options.max_steps) {
       throw ConvergenceError("transient: max_steps exceeded");
     }
-    h = std::min(h, options.t_stop - t);
-    const double t_new = t + h;
+    const double h_step = std::min(h, options.t_stop - t);
+    const double t_new = t + h_step;
 
     // Predictor: linear extrapolation of the last two accepted points.
-    Vector v_guess(v_prev.size());
     if (first_step || h_prev <= 0.0) {
       v_guess = v_prev;
     } else {
-      const double r = h / h_prev;
+      const double r = h_step / h_prev;
       for (size_t i = 0; i < v_prev.size(); ++i) {
         v_guess[i] = v_prev[i] + (v_prev[i] - v_prev2[i]) * r;
       }
     }
-    Vector v_solved = v_guess;
+    v_solved = v_guess;
 
-    LoadContext ctx;
-    ctx.kind = AnalysisKind::kTransient;
     // The very first step bootstraps trapezoidal state with backward Euler.
     ctx.method = first_step ? Integrator::kBackwardEuler : options.method;
     ctx.time = t_new;
-    ctx.h = h;
+    ctx.h = h_step;
     ctx.v_prev = &v_prev;
+    // state vectors swap buffers on accept; refresh the pointers every pass.
     ctx.state_prev = state_prev.data();
     ctx.state_now = state_now.data();
 
-    const NewtonResult newton = newton_solve(circuit, mna, ctx, &v_solved, options.newton);
+    const NewtonResult newton =
+        newton_solve(circuit, mna, ctx, &v_solved, options.newton, &workspace,
+                     nullptr);
     result.stats.newton_iterations += static_cast<size_t>(newton.iterations);
 
     bool accept = newton.converged;
@@ -111,10 +127,11 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
       continue;
     }
 
-    // Accept the step.
-    v_prev2 = v_prev;
-    v_prev = v_solved;
-    h_prev = h;
+    // Accept the step. The swap chain retires v_prev2's buffer into v_solved
+    // for reuse next pass; no vector is copied or reallocated.
+    std::swap(v_prev2, v_prev);
+    std::swap(v_prev, v_solved);
+    h_prev = h_step;
     t = t_new;
     first_step = false;
     std::swap(state_prev, state_now);
@@ -122,14 +139,19 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     result.waveforms.append(t, v_prev);
 
     // Error-based step-size controller (order-1 heuristic on the predictor
-    // deviation): grow gently when comfortably under target.
+    // deviation): grow gently when comfortably under target. Growth is based
+    // on the step actually taken (h_step), matching the pre-clamp behavior
+    // whenever the window clamp is inactive.
     double grow = 1.4;
     if (err > 1e-12) {
       grow = std::clamp(std::sqrt(options.err_target / err), 0.3, 1.6);
     }
-    h = std::clamp(h * grow, options.dt_min, options.dt_max);
+    h = std::clamp(h_step * grow, options.dt_min, options.dt_max);
   }
 
+  result.stats.lu_factorizations = workspace.lu_factorizations();
+  result.stats.lu_full_factorizations = workspace.lu_full_factorizations();
+  result.stats.workspace_allocations = workspace.allocations;
   return result;
 }
 

@@ -42,6 +42,15 @@ struct TransientStats {
   size_t steps_accepted = 0;
   size_t steps_rejected = 0;
   size_t newton_iterations = 0;
+  /// Solver-workspace observability: total LU factorization passes, how many
+  /// of them ran the full partial-pivoting path (first pass + pivot-ratio
+  /// fallbacks; the rest reused the frozen pivot ordering), and how many
+  /// times the workspace had to (re)build a buffer -- a small constant for a
+  /// healthy run (everything is sized on the first step, then reused), and
+  /// notably NOT proportional to the step count.
+  uint64_t lu_factorizations = 0;
+  uint64_t lu_full_factorizations = 0;
+  uint64_t workspace_allocations = 0;
 };
 
 struct TransientResult {

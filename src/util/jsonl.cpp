@@ -1,6 +1,8 @@
 #include "util/jsonl.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +22,20 @@ JsonValue JsonValue::number(double d) {
   JsonValue v;
   v.type = Type::kNumber;
   v.num = d;
+  return v;
+}
+
+JsonValue JsonValue::integer(int64_t i) {
+  JsonValue v;
+  v.type = Type::kInt;
+  v.i = i;
+  return v;
+}
+
+JsonValue JsonValue::uinteger(uint64_t u) {
+  JsonValue v;
+  v.type = Type::kUint;
+  v.u = u;
   return v;
 }
 
@@ -145,12 +161,67 @@ bool parse_value(Cursor* c, JsonValue* out) {
     *out = JsonValue::boolean(ch == 't');
     return true;
   }
-  if (ch == '-' || ch == '+' || std::isdigit(static_cast<unsigned char>(ch))) {
-    const char* begin = c->s.c_str() + c->i;
+  if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+    // Strict JSON number grammar, hand-scanned so strtod's extensions
+    // (leading '+', hex, inf/nan, leading zeros) cannot sneak corrupted
+    // bytes through as a valid value: -?(0|[1-9][0-9]*)(\.[0-9]+)?
+    // ([eE][+-]?[0-9]+)?. Tokens without a fraction or exponent are stored
+    // as exact 64-bit integers.
+    const std::string& s = c->s;
+    const size_t start = c->i;
+    size_t i = start;
+    const bool negative = s[i] == '-';
+    if (negative) ++i;
+    auto digit = [&](size_t k) {
+      return k < s.size() && std::isdigit(static_cast<unsigned char>(s[k]));
+    };
+    if (!digit(i)) return false;
+    if (s[i] == '0') {
+      ++i;  // a leading zero must stand alone ("0123" is not JSON)
+      if (digit(i)) return false;
+    } else {
+      while (digit(i)) ++i;
+    }
+    bool is_int = true;
+    if (i < s.size() && s[i] == '.') {
+      is_int = false;
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      is_int = false;
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+
+    const char* begin = s.c_str() + start;
     char* end = nullptr;
-    double v = std::strtod(begin, &end);
-    if (end == begin) return false;
-    c->i += static_cast<size_t>(end - begin);
+    if (is_int) {
+      // strtoll/strtoull stop at the first non-digit, i.e. exactly at `i`.
+      errno = 0;
+      if (negative) {
+        const long long v = std::strtoll(begin, &end, 10);
+        if (errno != ERANGE) {
+          c->i = i;
+          *out = JsonValue::integer(static_cast<int64_t>(v));
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(begin, &end, 10);
+        if (errno != ERANGE) {
+          c->i = i;
+          *out = JsonValue::uinteger(static_cast<uint64_t>(v));
+          return true;
+        }
+      }
+      // Magnitude beyond 64 bits: fall through to the double representation.
+    }
+    const double v = std::strtod(begin, &end);
+    if (end != begin + (i - start)) return false;
+    c->i = i;
     *out = JsonValue::number(v);
     return true;
   }
@@ -174,15 +245,17 @@ JsonRecord& JsonRecord::set(const std::string& key, double value) {
 }
 
 JsonRecord& JsonRecord::set(const std::string& key, int value) {
-  return set(key, static_cast<double>(value));
+  return set(key, static_cast<int64_t>(value));
 }
 
 JsonRecord& JsonRecord::set(const std::string& key, int64_t value) {
-  return set(key, static_cast<double>(value));
+  set_field(&fields_, &index_, key, JsonValue::integer(value));
+  return *this;
 }
 
 JsonRecord& JsonRecord::set(const std::string& key, uint64_t value) {
-  return set(key, static_cast<double>(value));
+  set_field(&fields_, &index_, key, JsonValue::uinteger(value));
+  return *this;
 }
 
 JsonRecord& JsonRecord::set(const std::string& key, bool value) {
@@ -214,8 +287,47 @@ const std::string& JsonRecord::get_string(const std::string& key) const {
   return record_get(fields_, index_, key, JsonValue::Type::kString, "string").str;
 }
 
+namespace {
+
+const JsonValue& record_get_any(
+    const std::vector<std::pair<std::string, JsonValue>>& fields,
+    const std::map<std::string, size_t>& index, const std::string& key) {
+  auto it = index.find(key);
+  require(it != index.end(), format("jsonl: missing field '%s'", key.c_str()));
+  return fields[it->second].second;
+}
+
+}  // namespace
+
 double JsonRecord::get_number(const std::string& key) const {
-  return record_get(fields_, index_, key, JsonValue::Type::kNumber, "number").num;
+  const JsonValue& v = record_get_any(fields_, index_, key);
+  switch (v.type) {
+    case JsonValue::Type::kNumber: return v.num;
+    case JsonValue::Type::kInt: return static_cast<double>(v.i);
+    case JsonValue::Type::kUint: return static_cast<double>(v.u);
+    default: break;
+  }
+  throw ConfigError(format("jsonl: field '%s' is not a number", key.c_str()));
+}
+
+uint64_t JsonRecord::get_uint64(const std::string& key) const {
+  const JsonValue& v = record_get_any(fields_, index_, key);
+  switch (v.type) {
+    case JsonValue::Type::kUint:
+      return v.u;
+    case JsonValue::Type::kInt:
+      require(v.i >= 0, format("jsonl: field '%s' is negative", key.c_str()));
+      return static_cast<uint64_t>(v.i);
+    case JsonValue::Type::kNumber:
+      // Logs written before integer types existed stored counters as
+      // doubles; accept them when they are exact non-negative integers.
+      require(v.num >= 0.0 && v.num < 1.8446744073709552e19 &&
+                  std::floor(v.num) == v.num,
+              format("jsonl: field '%s' is not an exact uint64", key.c_str()));
+      return static_cast<uint64_t>(v.num);
+    default: break;
+  }
+  throw ConfigError(format("jsonl: field '%s' is not a number", key.c_str()));
 }
 
 bool JsonRecord::get_bool(const std::string& key) const {
@@ -244,6 +356,12 @@ std::string JsonRecord::to_json() const {
         break;
       case JsonValue::Type::kNumber:
         out += format("%.17g", value.num);
+        break;
+      case JsonValue::Type::kInt:
+        out += format("%lld", static_cast<long long>(value.i));
+        break;
+      case JsonValue::Type::kUint:
+        out += format("%llu", static_cast<unsigned long long>(value.u));
         break;
       case JsonValue::Type::kBool:
         out += value.b ? "true" : "false";

@@ -16,16 +16,23 @@
 
 namespace rotsv {
 
-/// One field value of a flat JSONL record.
+/// One field value of a flat JSONL record. Integers get their own types so
+/// 64-bit counters (e.g. accumulated sim_steps on long resumed campaigns)
+/// round-trip exactly instead of being squeezed through a double, which is
+/// lossy above 2^53.
 struct JsonValue {
-  enum class Type { kString, kNumber, kBool };
+  enum class Type { kString, kNumber, kInt, kUint, kBool };
   Type type = Type::kNumber;
   std::string str;
   double num = 0.0;
+  int64_t i = 0;
+  uint64_t u = 0;
   bool b = false;
 
   static JsonValue string(std::string s);
   static JsonValue number(double v);
+  static JsonValue integer(int64_t v);
+  static JsonValue uinteger(uint64_t v);
   static JsonValue boolean(bool v);
 };
 
@@ -43,17 +50,25 @@ class JsonRecord {
   bool has(const std::string& key) const;
   /// Throw ConfigError when the key is missing or has the wrong type.
   const std::string& get_string(const std::string& key) const;
+  /// Accepts any numeric field (double, int64, uint64); integers are cast,
+  /// which loses precision above 2^53 -- use get_uint64 for exact counters.
   double get_number(const std::string& key) const;
+  /// Exact unsigned read: uint64 fields verbatim, non-negative int64 fields
+  /// cast, and (for logs written before integer types existed) non-negative
+  /// integer-valued doubles. Throws on anything else.
+  uint64_t get_uint64(const std::string& key) const;
   bool get_bool(const std::string& key) const;
   /// Returns `fallback` when the key is absent (still throws on wrong type).
   double get_number_or(const std::string& key, double fallback) const;
 
-  /// Serializes to one JSON object, no trailing newline. Numbers use %.17g so
-  /// doubles round-trip exactly (bit-identical resume depends on this).
+  /// Serializes to one JSON object, no trailing newline. Doubles use %.17g
+  /// and integers print digit-exact, so every value round-trips exactly
+  /// (bit-identical resume depends on this).
   std::string to_json() const;
 
-  /// Parses one flat JSON object line. Returns false on any syntax error or
-  /// on nested containers (the crash-truncated-line case).
+  /// Parses one flat JSON object line. Returns false on any syntax error
+  /// (strict JSON number grammar: no leading '+', no leading zeros, no
+  /// hex/inf/nan) or on nested containers (the crash-truncated-line case).
   static bool parse(const std::string& line, JsonRecord* out);
 
  private:

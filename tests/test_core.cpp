@@ -84,6 +84,68 @@ TEST(Tester, CalibrationBuildsBands) {
   }
 }
 
+TEST(Tester, TestDieMatchesPerTsvPathBitwise) {
+  // A single-TSV die through test_die() must consume the RNG exactly like
+  // test_die_tsv() and produce the same readings bit for bit -- the memoized
+  // reference is the measurement a repeat T2 run would have computed.
+  TesterConfig cfg = small_tester_config();
+  cfg.group_size = 1;
+  PreBondTsvTester tester(cfg);
+
+  RingOscillatorConfig ring_cfg;
+  ring_cfg.num_tsvs = 1;
+  ring_cfg.vdd = cfg.voltages.front();
+  RingOscillator nominal(ring_cfg);
+  const DeltaTResult d = measure_delta_t_single(nominal, 0, cfg.run);
+  ASSERT_TRUE(d.valid);
+  tester.set_band(0, d.delta_t - 80e-12, d.delta_t + 80e-12);
+
+  for (const TsvFault& fault :
+       {TsvFault::none(), TsvFault::open(1e6, 0.1), TsvFault::leakage(1600.0)}) {
+    Rng rng_a(99);
+    const TestReport per_tsv = tester.test_die_tsv(fault, rng_a);
+    Rng rng_b(99);
+    const DieTestReport die = tester.test_die({fault}, rng_b);
+    ASSERT_EQ(die.tsvs.size(), 1u);
+    const TestReport& from_die = die.tsvs[0];
+
+    EXPECT_EQ(from_die.verdict, per_tsv.verdict);
+    ASSERT_EQ(from_die.readings.size(), per_tsv.readings.size());
+    for (size_t i = 0; i < per_tsv.readings.size(); ++i) {
+      EXPECT_EQ(from_die.readings[i].vdd, per_tsv.readings[i].vdd);
+      EXPECT_EQ(from_die.readings[i].stuck, per_tsv.readings[i].stuck);
+      EXPECT_EQ(from_die.readings[i].t1, per_tsv.readings[i].t1);
+      EXPECT_EQ(from_die.readings[i].t2, per_tsv.readings[i].t2);
+      EXPECT_EQ(from_die.readings[i].delta_t, per_tsv.readings[i].delta_t);
+      EXPECT_EQ(from_die.readings[i].verdict, per_tsv.readings[i].verdict);
+    }
+    EXPECT_EQ(die.sim_steps, per_tsv.sim_steps);
+  }
+}
+
+TEST(Tester, TestDieSharesReferenceAcrossGroup) {
+  // Two TSVs in one ring: the reference run is shared, so the die costs
+  // less than two independent single-TSV tests would.
+  TesterConfig cfg = small_tester_config();  // group_size = 2
+  PreBondTsvTester tester(cfg);
+
+  RingOscillator nominal(testutil::small_ring());
+  const DeltaTResult d = measure_delta_t_single(nominal, 0, cfg.run);
+  ASSERT_TRUE(d.valid);
+  tester.set_band(0, d.delta_t - 80e-12, d.delta_t + 80e-12);
+
+  Rng rng(7);
+  const DieTestReport die =
+      tester.test_die({TsvFault::none(), TsvFault::none()}, rng);
+  ASSERT_EQ(die.tsvs.size(), 2u);
+  EXPECT_EQ(die.tsvs[0].verdict, TsvVerdict::kPass);
+  EXPECT_EQ(die.tsvs[1].verdict, TsvVerdict::kPass);
+  // Steps: shared reference means die work < sum of per-TSV report steps
+  // (each report's sim_steps includes the reference only when it ran).
+  EXPECT_EQ(die.sim_steps, die.tsvs[0].sim_steps + die.tsvs[1].sim_steps);
+  EXPECT_LT(die.tsvs[1].sim_steps, die.tsvs[0].sim_steps);
+}
+
 TEST(CombineVerdicts, Priorities) {
   auto reading = [](TsvVerdict v) {
     VoltageReading r;

@@ -41,6 +41,40 @@ MosInstanceParams x1_nmos() {
   return p;
 }
 
+TEST(EkvPrimitives, FusedSoftplusSigmoidBitIdentical) {
+  // The fused helper shares one exp on the negative side; it must agree with
+  // the standalone functions bit for bit everywhere, including the branch
+  // boundaries (0, +/-35, -700) and beyond the clamp.
+  for (double x : {-1000.0, -700.5, -700.0, -699.5, -100.0, -35.5, -35.0,
+                   -34.5, -1.0, -1e-12, -0.0, 0.0, 1e-12, 1.0, 34.5, 35.0,
+                   35.5, 100.0, 700.0, 1000.0}) {
+    double sp = 0.0, sg = 0.0;
+    softplus_sigmoid(x, &sp, &sg);
+    EXPECT_EQ(sp, softplus(x)) << "x=" << x;
+    EXPECT_EQ(sg, sigmoid(x)) << "x=" << x;
+  }
+}
+
+TEST(Ekv, DerivedOverloadBitIdentical) {
+  const MosModelCard& card = ptm45lp_nmos();
+  MosInstanceParams inst;
+  inst.delta_vt = 0.013;
+  inst.l_scale = 1.04;
+  const MosDerived derived = ekv_derive(card, inst);
+  for (double vg : {0.0, 0.3, 0.55, 1.1}) {
+    for (double vd : {0.0, 0.05, 0.6, 1.1}) {
+      for (double vs : {0.0, 0.2, 1.1}) {
+        const MosEval a = ekv_evaluate(card, inst, vg, vd, vs);
+        const MosEval b = ekv_evaluate(card, derived, vg, vd, vs);
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.g_g, b.g_g);
+        EXPECT_EQ(a.g_d, b.g_d);
+        EXPECT_EQ(a.g_s, b.g_s);
+      }
+    }
+  }
+}
+
 TEST(Ekv, ZeroVdsGivesZeroCurrent) {
   const MosEval e = ekv_evaluate(ptm45lp_nmos(), x1_nmos(), 1.1, 0.7, 0.7);
   EXPECT_NEAR(e.id, 0.0, 1e-15);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
@@ -106,6 +109,82 @@ TEST(Lu, SolveInPlaceMatchesSolve) {
   lu.solve_in_place(x2);
   for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(x1[i], x2[i]);
   EXPECT_THROW(lu.solve(Vector{1.0}), Error);
+}
+
+TEST(Lu, RefactorMatchesOneShotBitwise) {
+  Rng rng(7);
+  Matrix a(6, 6);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 6; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 6.0;
+  }
+  Vector b(6);
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+
+  LuFactorization one_shot(a);
+  LuFactorization reused;
+  reused.refactor(a);
+  const Vector x1 = one_shot.solve(b);
+  const Vector x2 = reused.solve(b);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(x1[i], x2[i]) << "i=" << i;
+  EXPECT_EQ(one_shot.determinant(), reused.determinant());
+}
+
+TEST(Lu, FrozenRefactorReusesPivotOrder) {
+  const size_t n = 10;
+  Rng rng(11);
+  Matrix a(n, n);
+  std::vector<uint8_t> structure(n * n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    // Sparse band + diagonal dominance so the identity pivot order survives
+    // moderate value drift.
+    for (size_t c = (r >= 2 ? r - 2 : 0); c < std::min(n, r + 3); ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+      structure[r * n + c] = 1;
+    }
+    a(r, r) += 10.0;
+  }
+
+  LuFactorization lu;
+  lu.refactor(a, structure.data());
+  EXPECT_EQ(lu.full_factorizations(), 1u);
+
+  // Drift the values (same pattern), refactor repeatedly: frozen path only.
+  for (int pass = 0; pass < 5; ++pass) {
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        if (structure[r * n + c]) a(r, c) += rng.uniform(-0.01, 0.01);
+      }
+    }
+    lu.refactor(a, structure.data());
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    const Vector x = lu.solve(b);
+    const Vector res = subtract(a.multiply(x), b);
+    EXPECT_LT(inf_norm(res), 1e-10);
+  }
+  EXPECT_EQ(lu.factorizations(), 6u);
+  EXPECT_EQ(lu.full_factorizations(), 1u) << "value drift must not force full pivoting";
+}
+
+TEST(Lu, FrozenPivotBreakdownFallsBackToFullPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const std::vector<uint8_t> structure{1, 1, 1, 1};
+
+  LuFactorization lu;
+  lu.refactor(a, structure.data());
+  EXPECT_EQ(lu.full_factorizations(), 1u);
+
+  // Make the frozen (0,0) pivot vanish relative to its column: the ratio
+  // test must reject it and transparently rerun full partial pivoting.
+  a(0, 0) = 1e-12;
+  lu.refactor(a, structure.data());
+  EXPECT_EQ(lu.full_factorizations(), 2u);
+  const Vector x = lu.solve({1.0, 2.0});
+  const Vector res = subtract(a.multiply(x), {1.0, 2.0});
+  EXPECT_LT(inf_norm(res), 1e-10);
 }
 
 // Property: for random well-conditioned systems, A * solve(A, b) == b.

@@ -178,6 +178,59 @@ TEST(RoRunner, EnablingMoreTsvsIncreasesDeltaT) {
   EXPECT_GT(d3.delta_t, 2.0 * d1.delta_t);
 }
 
+TEST(RoReferenceCache, BitIdenticalToFreeFunctionsWithOneReference) {
+  // The free functions rerun the bypass-all T2 transient for every TSV; the
+  // cache must return the exact same measurements while running T2 once.
+  RingOscillator free_ro(small_ring());
+  const DeltaTResult f0 = measure_delta_t_single(free_ro, 0, fast_run());
+  const DeltaTResult f1 = measure_delta_t_single(free_ro, 1, fast_run());
+  const DeltaTResult f_all = measure_delta_t(free_ro, 2, fast_run());
+
+  RingOscillator cached_ro(small_ring());
+  RoReferenceCache cache(cached_ro, fast_run());
+  const DeltaTResult c0 = cache.measure_delta_t_single(0);
+  const DeltaTResult c1 = cache.measure_delta_t_single(1);
+  const DeltaTResult c_all = cache.measure_delta_t(2);
+  EXPECT_EQ(cache.reference_runs(), 1u);
+
+  auto expect_same = [](const DeltaTResult& a, const DeltaTResult& b) {
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.stuck, b.stuck);
+    EXPECT_EQ(a.t1, b.t1);
+    EXPECT_EQ(a.t2, b.t2);
+    EXPECT_EQ(a.delta_t, b.delta_t);
+  };
+  expect_same(c0, f0);
+  expect_same(c1, f1);
+  expect_same(c_all, f_all);
+
+  // Work accounting: the first call paid for the reference, later calls did
+  // not; the free function pays every time.
+  EXPECT_EQ(c0.sim_steps, f0.sim_steps);
+  EXPECT_LT(c1.sim_steps, f1.sim_steps);
+  EXPECT_GT(c1.sim_steps, 0u);
+
+  // invalidate() forces a fresh reference (still bit-identical).
+  cache.invalidate();
+  const DeltaTResult c0b = cache.measure_delta_t_single(0);
+  expect_same(c0b, f0);
+  EXPECT_EQ(cache.reference_runs(), 2u);
+}
+
+TEST(RoReferenceCache, SeparateReferencePerVdd) {
+  RingOscillator ro(small_ring());
+  RoReferenceCache cache(ro, fast_run());
+  const DeltaTResult high = cache.measure_delta_t_single(0);
+  ro.set_vdd(0.95);
+  const DeltaTResult low = cache.measure_delta_t_single(0);
+  EXPECT_EQ(cache.reference_runs(), 2u);
+  EXPECT_NE(high.t2, low.t2);
+  ro.set_vdd(1.1);
+  const DeltaTResult high2 = cache.measure_delta_t_single(0);
+  EXPECT_EQ(cache.reference_runs(), 2u) << "1.1 V reference must be memoized";
+  EXPECT_EQ(high2.t2, high.t2);
+}
+
 TEST(RoRunner, CaptureWaveformsRecordsRequestedNodes) {
   RingOscillator ro(small_ring());
   ro.enable_first(1);

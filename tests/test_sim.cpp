@@ -185,6 +185,58 @@ TEST(Transient, CapacitiveDividerJump) {
   EXPECT_NEAR(r.waveforms.sample_at(mid, 2.5e-10), 2.0 / 3.0, 0.02);
 }
 
+TEST(Transient, FinalWindowRejectionCompletes) {
+  // Regression: the controller step used to be clamped to the remaining
+  // window *before* the underflow check, so a rejected step right at t_stop
+  // (where the window is tiny) was misdiagnosed as a timestep underflow and
+  // aborted an otherwise healthy run. A fast edge arriving exactly at t_stop
+  // with tight error tolerances forces that final-window rejection.
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId mid = c.node("mid");
+  c.add_voltage_source("vin", in, kGround,
+                       SourceWaveform::step(0.0, 1.0, 20e-12, 1e-13));
+  c.add_capacitor("c1", in, mid, 1e-15);
+  c.add_capacitor("c2", mid, kGround, 1e-15);
+
+  TransientOptions t;
+  t.t_stop = 20e-12 + 3e-15;  // the edge lands in a few-fs final window
+  t.dt_initial = 1e-12;
+  t.dt_max = 1e-12;
+  t.dt_min = 0.5e-15;
+  t.err_target = 4e-3;
+  t.err_reject = 0.01;
+  t.newton.gmin = 1e-15;
+
+  const TransientResult r = run_transient(c, t);  // must not throw
+  EXPECT_GT(r.stats.steps_rejected, 0u) << "test should exercise a rejection";
+  EXPECT_GT(r.stats.steps_accepted, 0u);
+}
+
+TEST(Transient, WorkspaceCountersReported) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_voltage_source("vin", in, kGround,
+                       SourceWaveform::step(0.0, 1.0, 1e-9, 1e-12));
+  c.add_resistor("r", in, out, 1000.0);
+  c.add_capacitor("cl", out, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 6e-9;
+  t.dt_max = 20e-12;
+  const TransientResult r = run_transient(c, t);
+
+  // One LU pass per Newton iteration, almost all on the frozen pivot order.
+  EXPECT_EQ(r.stats.lu_factorizations, r.stats.newton_iterations);
+  EXPECT_GE(r.stats.lu_full_factorizations, 1u);
+  EXPECT_LE(r.stats.lu_full_factorizations, 3u);
+  // Buffer builds are a small constant (iterate sizing + pattern capture),
+  // not proportional to the hundreds of steps this run takes.
+  EXPECT_GE(r.stats.workspace_allocations, 1u);
+  EXPECT_LE(r.stats.workspace_allocations, 4u);
+  EXPECT_GT(r.stats.steps_accepted, 100u);
+}
+
 // --- measurements -----------------------------------------------------------
 
 TEST(Measure, ThresholdCrossingsInterpolate) {

@@ -290,6 +290,81 @@ TEST(Jsonl, ParseRejectsPartialAndNestedLines) {
   EXPECT_FALSE(JsonRecord::parse("{\"a\":null}", &rec));
 }
 
+TEST(Jsonl, IntegersRoundTripExactly) {
+  // Regression: counters used to be squeezed through double, which silently
+  // rounds above 2^53 -- fatal for accumulated sim_steps on long campaigns.
+  const uint64_t above_double = (1ull << 53) + 1;       // not representable
+  const uint64_t big = 1000000000000000007ull;          // 1e18 + 7
+  const uint64_t above_int64 = 9223372036854775809ull;  // > int64 max
+  JsonRecord rec;
+  rec.set("a", above_double)
+      .set("b", big)
+      .set("c", above_int64)
+      .set("d", UINT64_MAX)
+      .set("neg", static_cast<int64_t>(-42));
+  JsonRecord parsed;
+  ASSERT_TRUE(JsonRecord::parse(rec.to_json(), &parsed));
+  EXPECT_EQ(parsed.get_uint64("a"), above_double);
+  EXPECT_EQ(parsed.get_uint64("b"), big);
+  EXPECT_EQ(parsed.get_uint64("c"), above_int64);
+  EXPECT_EQ(parsed.get_uint64("d"), UINT64_MAX);
+  EXPECT_THROW(parsed.get_uint64("neg"), ConfigError);
+  // get_number still works on integer fields (cast, possibly lossy).
+  EXPECT_EQ(parsed.get_number("b"), static_cast<double>(big));
+  EXPECT_EQ(parsed.get_number("neg"), -42.0);
+
+  // Legacy logs wrote counters as doubles; integer-valued non-negative
+  // doubles must keep reading back through get_uint64. (261107.0 and the
+  // exponent form parse as kNumber, not as integer tokens.)
+  JsonRecord legacy;
+  ASSERT_TRUE(JsonRecord::parse(
+      "{\"steps\":261107.0,\"exp\":2.61107e5,\"frac\":1.5,\"neg\":-1}",
+      &legacy));
+  EXPECT_EQ(legacy.get_uint64("steps"), 261107u);
+  EXPECT_EQ(legacy.get_uint64("exp"), 261107u);
+  EXPECT_THROW(legacy.get_uint64("frac"), ConfigError);
+  EXPECT_THROW(legacy.get_uint64("neg"), ConfigError);
+}
+
+TEST(Jsonl, StrictNumberGrammar) {
+  JsonRecord rec;
+  // Regression: a leading '+' is not JSON and used to slip through the
+  // strtod-based parser, accepting lines a conforming reader would reject.
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":+1}", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":+1.5}", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":01}", &rec));    // leading zero
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":0x10}", &rec));  // hex
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":inf}", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":nan}", &rec));
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":1.}", &rec));    // empty fraction
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":.5}", &rec));    // empty int part
+  EXPECT_FALSE(JsonRecord::parse("{\"a\":1e}", &rec));    // empty exponent
+  // The valid shapes still parse.
+  ASSERT_TRUE(JsonRecord::parse(
+      "{\"a\":-1,\"b\":0,\"c\":1.25e-3,\"d\":2E+6,\"e\":0.5}", &rec));
+  EXPECT_EQ(rec.get_number("a"), -1.0);
+  EXPECT_EQ(rec.get_number("b"), 0.0);
+  EXPECT_EQ(rec.get_number("c"), 1.25e-3);
+  EXPECT_EQ(rec.get_number("d"), 2e6);
+  EXPECT_EQ(rec.get_number("e"), 0.5);
+}
+
+TEST(Jsonl, ReaderSkipsPlusPrefixedNumberLines) {
+  const std::string path = ::testing::TempDir() + "rotsv_jsonl_plus.jsonl";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"i\":1}\n{\"i\":+2}\n{\"i\":3}\n", f);
+    std::fclose(f);
+  }
+  const JsonlReadResult read = read_jsonl(path);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[0].get_number("i"), 1.0);
+  EXPECT_EQ(read.records[1].get_number("i"), 3.0);
+  EXPECT_EQ(read.skipped_lines, 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Jsonl, WriterAppendsAndReaderSkipsPartialTail) {
   const std::string path = ::testing::TempDir() + "rotsv_jsonl_test.jsonl";
   {
