@@ -10,6 +10,7 @@
 #include "sim/mna.hpp"
 #include "sim/transient.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace rotsv {
 namespace {
@@ -117,8 +118,10 @@ void BM_MnaAssembleInverterChain(benchmark::State& state) {
   NodeId prev = c.node("in");
   c.add_voltage_source("vin", prev, kGround, SourceWaveform::dc(0.0));
   for (int i = 0; i < state.range(0); ++i) {
-    NodeId next = c.node("n" + std::to_string(i));
-    make_inverter(ctx, "inv" + std::to_string(i), prev, next);
+    // format() instead of "n" + to_string(i): gcc 12's -Wrestrict false
+    // positive fires on the rvalue string operator+ when inlined here.
+    NodeId next = c.node(format("n%d", i));
+    make_inverter(ctx, format("inv%d", i), prev, next);
     prev = next;
   }
   c.add_capacitor("cl", prev, kGround, 1e-15);
@@ -151,8 +154,8 @@ void BM_TransientInverterChain(benchmark::State& state) {
         "vin", prev, kGround,
         SourceWaveform::pulse(0.0, 1.1, 0.1e-9, 20e-12, 20e-12, 1e-9, 2e-9));
     for (int i = 0; i < 8; ++i) {
-      NodeId next = c.node("n" + std::to_string(i));
-      make_inverter(ctx, "inv" + std::to_string(i), prev, next);
+      NodeId next = c.node(format("n%d", i));
+      make_inverter(ctx, format("inv%d", i), prev, next);
       prev = next;
     }
     c.add_capacitor("cl", prev, kGround, 5e-15);

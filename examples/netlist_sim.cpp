@@ -13,10 +13,15 @@
 using namespace rotsv;
 
 int main(int argc, char** argv) {
+  // Preflight rejects structurally broken netlists (floating nodes, V-source
+  // loops, ...) with a diagnostic list instead of a cryptic Newton failure.
+  ParseOptions parse_options;
+  parse_options.preflight = true;
+
   ParsedNetlist net;
   if (argc > 1) {
     std::printf("parsing netlist file %s\n", argv[1]);
-    net = parse_spice_file(argv[1]);
+    net = parse_spice_file(argv[1], parse_options);
   } else {
     net = parse_spice(
         "cmos inverter into rc load (built-in demo; pass a .sp file to override)\n"
@@ -27,7 +32,8 @@ int main(int argc, char** argv) {
         "m2 out in 0 0 nmos45lp w=415n l=50n\n"
         "r1 out load 500\n"
         "c1 load 0 20f\n"
-        ".tran 5p 4n\n");
+        ".tran 5p 4n\n",
+        parse_options);
   }
   std::printf("netlist: '%s' (%zu devices, %zu nodes)\n", net.title.c_str(),
               net.circuit->device_count(), net.circuit->nodes().size());

@@ -1,0 +1,10 @@
+cmos inverter into rc load (same circuit as the built-in netlist_sim demo)
+vdd vdd 0 dc 1.1
+vin in 0 pulse(0 1.1 0.2n 25p 25p 1.0n 2.0n)
+* transistor-level inverter using the built-in 45 nm LP cards
+m1 out in vdd vdd pmos45lp w=630n l=50n
+m2 out in 0 0 nmos45lp w=415n l=50n
+r1 out load 500
+c1 load 0 20f
+.tran 5p 4n
+.end

@@ -1,0 +1,12 @@
+pre-bond tsv electrical model: inverter driving the tsv rc load
+* The TSV is the paper's lumped model: series resistance into the pillar
+* capacitance to the substrate. A resistive-open defect raises rtsv; a
+* leakage defect would add a finite resistance in parallel with ctsv.
+vdd vdd 0 dc 1.1
+vin in 0 pulse(0 1.1 0.1n 20p 20p 0.8n 1.6n)
+m1 drv in vdd vdd pmos45lp w=630n l=50n
+m2 drv in 0 0 nmos45lp w=415n l=50n
+rtsv drv pillar 0.05
+ctsv pillar 0 40f
+.tran 4p 3n
+.end

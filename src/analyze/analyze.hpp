@@ -1,0 +1,61 @@
+// Static analysis entry points: structural checks over a built Circuit (and
+// the netlist it came from), DfT architecture/control consistency, and
+// tester/campaign configuration sanity. Every check turns a failure mode that
+// would otherwise surface as a singular LU factorization or Newton divergence
+// deep inside run_transient -- or as silently wrong verdicts at campaign
+// scale -- into a located diagnostic before any simulation runs.
+#pragma once
+
+#include "analyze/diagnostic.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "circuit/circuit.hpp"
+#include "core/tester.hpp"
+#include "dft/architecture.hpp"
+#include "spice/parser.hpp"
+
+namespace rotsv {
+
+struct AnalyzeOptions {
+  /// Accept nodes with a single device terminal (matches the relaxed mode of
+  /// Circuit::check_connectivity used by probe-style test structures).
+  bool allow_single_terminal = false;
+};
+
+/// Structural and value checks over a built circuit: floating nodes, islands
+/// with no DC path to ground (union-find over conductive edges -- predicts a
+/// singular MNA matrix before LU sees it), shorted/looped voltage sources,
+/// degenerate MOSFET wiring, case-insensitive duplicate device names, and
+/// value sanity (negative R/C, zero-width devices, non-finite sources).
+/// `source`, when given, attaches netlist line numbers to the findings.
+AnalysisReport analyze_circuit(const Circuit& circuit,
+                               const AnalyzeOptions& options = {},
+                               const NetlistSourceMap* source = nullptr);
+
+/// analyze_circuit plus directive-level checks on the parsed netlist:
+/// .TRAN window sanity and .IC references to nodes no device touches.
+AnalysisReport analyze_netlist(const ParsedNetlist& netlist,
+                               const AnalyzeOptions& options = {});
+
+/// Configuration sanity for a DfT architecture before construction.
+AnalysisReport analyze_dft_config(const DftArchitectureConfig& config);
+
+/// Config checks plus group-coverage invariants of a built architecture:
+/// every TSV id in exactly one group, group indices dense and in range.
+AnalysisReport analyze_dft(const DftArchitecture& architecture);
+
+/// Legality of one control-state step against an architecture: BY[] length
+/// vs. the selected group, TE/OE combinations, decoder selection range.
+AnalysisReport analyze_control(const DftArchitecture& architecture,
+                               const ControlState& state);
+
+/// Tester configuration sanity: group size, voltage plan, calibration depth,
+/// guard band, period-meter and transient-window parameters.
+AnalysisReport analyze_tester_config(const TesterConfig& config);
+
+/// Campaign-spec preflight: grid geometry, defect mix, preset bands, the
+/// tester config checks above, and the DfT consistency suite over the
+/// die-level architecture the spec implies (group coverage + the control
+/// states the screening flow will drive).
+AnalysisReport analyze_campaign(const CampaignSpec& spec);
+
+}  // namespace rotsv

@@ -1,0 +1,297 @@
+// Structural and value checks over a built Circuit, plus the directive-level
+// checks on a parsed netlist (.TRAN / .IC). The DC-path check mirrors what
+// the MNA engine will experience: resistors, voltage sources and MOSFET
+// channels conduct at DC; capacitors, current sources, MOSFET gates and
+// bulks do not. A node island that cannot reach ground through conductive
+// edges has no defined operating point -- the engine's gmin shunt keeps the
+// matrix technically factorable but the solution is gmin-determined garbage,
+// and without gmin it is exactly the singular-LU failure the analyzer is
+// here to pre-empt.
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+/// Plain union-find over node ids (0 = ground).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int a) {
+    while (parent_[static_cast<size_t>(a)] != a) {
+      parent_[static_cast<size_t>(a)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(a)])];
+      a = parent_[static_cast<size_t>(a)];
+    }
+    return a;
+  }
+
+  /// Returns false when a and b were already connected.
+  bool unite(int a, int b) {
+    const int ra = find(a);
+    const int rb = find(b);
+    if (ra == rb) return false;
+    parent_[static_cast<size_t>(ra)] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+bool finite(double v) { return std::isfinite(v); }
+
+/// Context shared by the per-device checks.
+struct CircuitChecker {
+  const Circuit& circuit;
+  const NetlistSourceMap* source;
+  AnalysisReport& report;
+  UnionFind dc_path;      ///< conductive edges only (R, V, MOSFET channel)
+  UnionFind vsrc_loops;   ///< voltage-source edges only
+  std::vector<int> degree;
+
+  CircuitChecker(const Circuit& c, const NetlistSourceMap* s, AnalysisReport& r)
+      : circuit(c),
+        source(s),
+        report(r),
+        dc_path(c.nodes().size()),
+        vsrc_loops(c.nodes().size()),
+        degree(c.nodes().size(), 0) {}
+
+  int device_line(const Device& d) const {
+    return source != nullptr ? source->device_line(d.name()) : 0;
+  }
+
+  int node_line(NodeId n) const {
+    return source != nullptr ? source->node_line(circuit.nodes().name(n)) : 0;
+  }
+
+  const std::string& node_name(NodeId n) const { return circuit.nodes().name(n); }
+
+  void count_terminals(const Device& d) {
+    for (NodeId n : d.terminals()) {
+      if (!n.is_ground()) ++degree[static_cast<size_t>(n.value)];
+    }
+  }
+
+  void check_resistor(const Resistor& r) {
+    if (!finite(r.resistance()) || r.resistance() <= 0.0) {
+      report.add(DiagCode::kBadResistance, DiagSeverity::kError, r.name(),
+                 device_line(r),
+                 format("resistor '%s' has non-positive or non-finite value %g ohm",
+                        r.name().c_str(), r.resistance()));
+      return;  // a zero/NaN resistance is not a usable conductive edge
+    }
+    dc_path.unite(r.terminals()[0].value, r.terminals()[1].value);
+  }
+
+  void check_capacitor(const Capacitor& c) {
+    if (!finite(c.capacitance()) || c.capacitance() < 0.0) {
+      report.add(DiagCode::kBadCapacitance, DiagSeverity::kError, c.name(),
+                 device_line(c),
+                 format("capacitor '%s' has negative or non-finite value %g F",
+                        c.name().c_str(), c.capacitance()));
+    } else if (c.capacitance() == 0.0) {
+      report.add(DiagCode::kZeroCapacitance, DiagSeverity::kWarning, c.name(),
+                 device_line(c),
+                 format("capacitor '%s' has zero capacitance", c.name().c_str()));
+    }
+  }
+
+  void check_voltage_source(const VoltageSource& v) {
+    if (!finite(v.waveform().dc_value())) {
+      report.add(DiagCode::kNonFiniteValue, DiagSeverity::kError, v.name(),
+                 device_line(v),
+                 format("voltage source '%s' has a non-finite value",
+                        v.name().c_str()));
+    }
+    const NodeId p = v.positive();
+    const NodeId n = v.negative();
+    if (p == n) {
+      // Both stamps of the branch row cancel: the row is exactly zero and LU
+      // hits a hard zero pivot no amount of gmin can fix.
+      report.add(DiagCode::kShortedVsource, DiagSeverity::kError, v.name(),
+                 device_line(v),
+                 format("voltage source '%s' has both terminals on node '%s' "
+                        "(its branch equation is singular)",
+                        v.name().c_str(), node_name(p).c_str()));
+      return;
+    }
+    dc_path.unite(p.value, n.value);
+    if (!vsrc_loops.unite(p.value, n.value)) {
+      // A cycle of ideal voltage sources over-determines KVL: the branch rows
+      // are linearly dependent, which is again an exactly singular matrix.
+      report.add(DiagCode::kVsourceLoop, DiagSeverity::kError, v.name(),
+                 device_line(v),
+                 format("voltage source '%s' closes a loop of voltage sources "
+                        "between '%s' and '%s' (linearly dependent branch rows)",
+                        v.name().c_str(), node_name(p).c_str(),
+                        node_name(n).c_str()));
+    }
+  }
+
+  void check_current_source(const CurrentSource& i) {
+    if (!finite(i.waveform().dc_value())) {
+      report.add(DiagCode::kNonFiniteValue, DiagSeverity::kError, i.name(),
+                 device_line(i),
+                 format("current source '%s' has a non-finite value",
+                        i.name().c_str()));
+    }
+  }
+
+  void check_mosfet(const Mosfet& m) {
+    const auto terminals = m.terminals();  // d, g, s, b
+    const NodeId d = terminals[0];
+    const NodeId g = terminals[1];
+    const NodeId s = terminals[2];
+    const NodeId b = terminals[3];
+    if (d == g && g == s && s == b) {
+      report.add(DiagCode::kMosShorted, DiagSeverity::kError, m.name(),
+                 device_line(m),
+                 format("MOSFET '%s' has all four terminals on node '%s'",
+                        m.name().c_str(), node_name(d).c_str()));
+    } else if (d == s) {
+      report.add(DiagCode::kMosChannelShort, DiagSeverity::kWarning, m.name(),
+                 device_line(m),
+                 format("MOSFET '%s' has drain and source on node '%s' "
+                        "(zero-Vds channel never conducts useful current)",
+                        m.name().c_str(), node_name(d).c_str()));
+    }
+    if (!finite(m.params().w) || m.params().w <= 0.0 || !finite(m.params().l) ||
+        m.params().l <= 0.0) {
+      report.add(DiagCode::kBadGeometry, DiagSeverity::kError, m.name(),
+                 device_line(m),
+                 format("MOSFET '%s' has non-positive geometry (W=%g, L=%g)",
+                        m.name().c_str(), m.params().w, m.params().l));
+    }
+    // The channel conducts at DC; gate and bulk couple only through caps.
+    dc_path.unite(d.value, s.value);
+  }
+
+  void check_device(const Device& device) {
+    count_terminals(device);
+    if (const auto* r = dynamic_cast<const Resistor*>(&device)) {
+      check_resistor(*r);
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(&device)) {
+      check_capacitor(*c);
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(&device)) {
+      check_voltage_source(*v);
+    } else if (const auto* i = dynamic_cast<const CurrentSource*>(&device)) {
+      check_current_source(*i);
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(&device)) {
+      check_mosfet(*m);
+    } else {
+      // Unknown device kind: assume it conducts across all terminals so the
+      // DC-path check cannot produce false positives for future devices.
+      const auto terminals = device.terminals();
+      for (size_t t = 1; t < terminals.size(); ++t) {
+        dc_path.unite(terminals[0].value, terminals[t].value);
+      }
+    }
+  }
+
+  void check_duplicate_names() {
+    std::unordered_map<std::string, const Device*> seen;
+    for (const auto& device : circuit.devices()) {
+      const std::string key = to_lower(device->name());
+      auto [it, inserted] = seen.emplace(key, device.get());
+      if (!inserted) {
+        report.add(DiagCode::kDuplicateDevice, DiagSeverity::kError,
+                   device->name(), device_line(*device),
+                   format("device '%s' duplicates '%s' (names are "
+                          "case-insensitive in SPICE)",
+                          device->name().c_str(), it->second->name().c_str()));
+      }
+    }
+  }
+
+  void check_nodes(const AnalyzeOptions& options) {
+    const int min_degree = options.allow_single_terminal ? 1 : 2;
+    for (size_t i = 1; i < circuit.nodes().size(); ++i) {
+      const NodeId node{static_cast<int>(i)};
+      if (degree[i] < min_degree) {
+        report.add(DiagCode::kFloatingNode, DiagSeverity::kError,
+                   node_name(node), node_line(node),
+                   format("node '%s' has %d device terminal(s) attached",
+                          node_name(node).c_str(), degree[i]));
+        continue;  // a dangling node trivially has no DC path too
+      }
+      if (dc_path.find(static_cast<int>(i)) != dc_path.find(0)) {
+        report.add(DiagCode::kNoDcPath, DiagSeverity::kError, node_name(node),
+                   node_line(node),
+                   format("node '%s' has no DC path to ground (only "
+                          "capacitors, current sources, or MOS gates reach it)",
+                          node_name(node).c_str()));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+AnalysisReport analyze_circuit(const Circuit& circuit, const AnalyzeOptions& options,
+                               const NetlistSourceMap* source) {
+  AnalysisReport report;
+  CircuitChecker checker(circuit, source, report);
+  for (const auto& device : circuit.devices()) {
+    checker.check_device(*device);
+  }
+  checker.check_duplicate_names();
+  checker.check_nodes(options);
+  report.sort_by_location();
+  return report;
+}
+
+AnalysisReport analyze_netlist(const ParsedNetlist& netlist,
+                               const AnalyzeOptions& options) {
+  AnalysisReport report =
+      analyze_circuit(*netlist.circuit, options, &netlist.source);
+
+  if (netlist.tran.has_value()) {
+    const TransientOptions& tran = *netlist.tran;
+    if (!finite(tran.t_stop) || tran.t_stop <= 0.0) {
+      report.add(DiagCode::kBadTranWindow, DiagSeverity::kError, ".tran", 0,
+                 format(".tran stop time %g s is not positive", tran.t_stop));
+    } else if (tran.dt_max > tran.t_stop) {
+      report.add(DiagCode::kTranStepTooLarge, DiagSeverity::kWarning, ".tran", 0,
+                 format(".tran step %g s exceeds the stop time %g s",
+                        tran.dt_max, tran.t_stop));
+    }
+
+    // .IC entries must name nodes some device terminal actually touches;
+    // anything else is a typo that would silently add a floating unknown.
+    std::vector<int> degree(netlist.circuit->nodes().size(), 0);
+    for (const auto& device : netlist.circuit->devices()) {
+      for (NodeId n : device->terminals()) {
+        if (!n.is_ground()) ++degree[static_cast<size_t>(n.value)];
+      }
+    }
+    for (const auto& [node, value] : tran.initial_conditions) {
+      const std::string& name = netlist.circuit->nodes().name(node);
+      const int line = netlist.source.node_line(name);
+      if (!node.is_ground() && degree[static_cast<size_t>(node.value)] == 0) {
+        report.add(DiagCode::kIcUnknownNode, DiagSeverity::kError, name, line,
+                   format(".ic names node '%s', which no device terminal "
+                          "touches",
+                          name.c_str()));
+      }
+      if (!finite(value)) {
+        report.add(DiagCode::kNonFiniteValue, DiagSeverity::kError, name, line,
+                   format(".ic value for node '%s' is not finite", name.c_str()));
+      }
+    }
+  }
+
+  report.sort_by_location();
+  return report;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,127 @@
+// DfT-architecture and control-state consistency checks: group coverage of
+// the TSV space, BY[] vector sizing, TE/OE legality, and decoder range --
+// the Fig. 5 control discipline as machine-checkable invariants.
+#include <algorithm>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+AnalysisReport analyze_dft_config(const DftArchitectureConfig& config) {
+  AnalysisReport report;
+  if (config.tsv_count < 1) {
+    report.add(DiagCode::kBadDftConfig, DiagSeverity::kError, "tsv_count", 0,
+               format("tsv_count %d must be >= 1", config.tsv_count));
+  }
+  if (config.group_size < 1) {
+    report.add(DiagCode::kBadDftConfig, DiagSeverity::kError, "group_size", 0,
+               format("group_size %d must be >= 1", config.group_size));
+  }
+  if (config.die_area_mm2 <= 0.0) {
+    report.add(DiagCode::kBadDftConfig, DiagSeverity::kError, "die_area_mm2", 0,
+               format("die area %g mm^2 must be positive", config.die_area_mm2));
+  }
+  if (config.meter.bits < 1 || config.meter.bits > 62) {
+    report.add(DiagCode::kBadMeterConfig, DiagSeverity::kError, "meter.bits", 0,
+               format("period meter width %d bits is outside [1, 62]",
+                      config.meter.bits));
+  }
+  if (config.meter.window <= 0.0) {
+    report.add(DiagCode::kBadMeterConfig, DiagSeverity::kError, "meter.window", 0,
+               format("period meter window %g s must be positive",
+                      config.meter.window));
+  }
+  if (config.meter.phase < 0.0 || config.meter.phase >= 1.0) {
+    report.add(DiagCode::kBadMeterConfig, DiagSeverity::kError, "meter.phase", 0,
+               format("meter reset phase %g is outside [0, 1)",
+                      config.meter.phase));
+  }
+  return report;
+}
+
+AnalysisReport analyze_dft(const DftArchitecture& architecture) {
+  AnalysisReport report = analyze_dft_config(architecture.config());
+
+  // Every TSV id must be covered by exactly one group; anything else means
+  // TSVs that are never screened or verdicts written twice.
+  const int tsv_count = architecture.config().tsv_count;
+  std::vector<int> covered(static_cast<size_t>(std::max(tsv_count, 0)), 0);
+  for (const TsvGroup& group : architecture.groups()) {
+    for (int id : group.tsv_ids) {
+      if (id < 0 || id >= tsv_count) {
+        report.add(DiagCode::kTsvUncovered, DiagSeverity::kError,
+                   format("group %d", group.index), 0,
+                   format("group %d lists TSV id %d outside [0, %d)",
+                          group.index, id, tsv_count));
+        continue;
+      }
+      ++covered[static_cast<size_t>(id)];
+    }
+  }
+  for (int id = 0; id < tsv_count; ++id) {
+    const int count = covered[static_cast<size_t>(id)];
+    if (count == 0) {
+      report.add(DiagCode::kTsvUncovered, DiagSeverity::kError,
+                 format("tsv %d", id), 0,
+                 format("TSV %d is not covered by any group (it would never "
+                        "be screened)",
+                        id));
+    } else if (count > 1) {
+      report.add(DiagCode::kTsvMultiCovered, DiagSeverity::kError,
+                 format("tsv %d", id), 0,
+                 format("TSV %d is covered by %d groups", id, count));
+    }
+  }
+  return report;
+}
+
+AnalysisReport analyze_control(const DftArchitecture& architecture,
+                               const ControlState& state) {
+  AnalysisReport report;
+
+  if (!state.te) {
+    // Functional mode: the test logic must be transparent. Driving the
+    // tri-state test drivers against the functional path is a bus fight.
+    if (state.oe) {
+      report.add(DiagCode::kIllegalControl, DiagSeverity::kError, "oe", 0,
+                 "OE asserted in functional mode (TE=0): test drivers would "
+                 "fight the functional path");
+    }
+    if (state.selected_group != -1) {
+      report.add(DiagCode::kIllegalControl, DiagSeverity::kWarning,
+                 "selected_group", 0,
+                 format("decoder selects group %d while TE=0 (ignored in "
+                        "functional mode)",
+                        state.selected_group));
+    }
+    return report;
+  }
+
+  // Test mode: a group must be selected, in decoder range, with drivers on
+  // and a BY[] vector sized to that group.
+  if (state.selected_group < 0 ||
+      state.selected_group >= architecture.group_count()) {
+    report.add(DiagCode::kDecoderOutOfRange, DiagSeverity::kError,
+               "selected_group", 0,
+               format("decoder selection %d is outside [0, %d)",
+                      state.selected_group, architecture.group_count()));
+    return report;  // the remaining checks need a valid group
+  }
+  if (!state.oe) {
+    report.add(DiagCode::kIllegalControl, DiagSeverity::kError, "oe", 0,
+               "OE deasserted in test mode (TE=1): the ring cannot oscillate "
+               "with its drivers tri-stated");
+  }
+  const TsvGroup& group =
+      architecture.groups()[static_cast<size_t>(state.selected_group)];
+  if (state.bypass.size() != group.tsv_ids.size()) {
+    report.add(DiagCode::kBypassSizeMismatch, DiagSeverity::kError, "bypass", 0,
+               format("BY[] has %zu entries but group %d has %zu TSVs",
+                      state.bypass.size(), group.index, group.tsv_ids.size()));
+  }
+  return report;
+}
+
+}  // namespace rotsv

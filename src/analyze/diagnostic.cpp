@@ -1,0 +1,143 @@
+#include "analyze/diagnostic.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+const char* diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::kFloatingNode: return "floating-node";
+    case DiagCode::kNoDcPath: return "no-dc-path";
+    case DiagCode::kShortedVsource: return "shorted-vsource";
+    case DiagCode::kVsourceLoop: return "vsource-loop";
+    case DiagCode::kMosShorted: return "mos-shorted";
+    case DiagCode::kMosChannelShort: return "mos-channel-short";
+    case DiagCode::kDuplicateDevice: return "duplicate-device";
+    case DiagCode::kBadResistance: return "bad-resistance";
+    case DiagCode::kBadCapacitance: return "bad-capacitance";
+    case DiagCode::kZeroCapacitance: return "zero-capacitance";
+    case DiagCode::kBadGeometry: return "bad-geometry";
+    case DiagCode::kNonFiniteValue: return "non-finite-value";
+    case DiagCode::kIcUnknownNode: return "ic-unknown-node";
+    case DiagCode::kBadTranWindow: return "bad-tran-window";
+    case DiagCode::kTranStepTooLarge: return "tran-step-too-large";
+    case DiagCode::kBadDftConfig: return "bad-dft-config";
+    case DiagCode::kBadMeterConfig: return "bad-meter-config";
+    case DiagCode::kBypassSizeMismatch: return "bypass-size-mismatch";
+    case DiagCode::kIllegalControl: return "illegal-control";
+    case DiagCode::kTsvUncovered: return "tsv-uncovered";
+    case DiagCode::kTsvMultiCovered: return "tsv-multi-covered";
+    case DiagCode::kDecoderOutOfRange: return "decoder-out-of-range";
+    case DiagCode::kBadTesterConfig: return "bad-tester-config";
+    case DiagCode::kBadVoltagePlan: return "bad-voltage-plan";
+    case DiagCode::kDuplicateVoltage: return "duplicate-voltage";
+    case DiagCode::kBadDefectMix: return "bad-defect-mix";
+    case DiagCode::kBadPresetBands: return "bad-preset-bands";
+    case DiagCode::kBadCampaignGrid: return "bad-campaign-grid";
+  }
+  return "unknown";
+}
+
+const char* diag_severity_name(DiagSeverity severity) {
+  return severity == DiagSeverity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::format(const std::string& file) const {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ':';
+    if (line > 0) out += std::to_string(line) + ":";
+    out += ' ';
+  } else if (line > 0) {
+    out += "line " + std::to_string(line) + ": ";
+  }
+  out += diag_severity_name(severity);
+  out += ": ";
+  out += message;
+  out += " [";
+  out += diag_code_name(code);
+  out += ']';
+  return out;
+}
+
+void AnalysisReport::add(DiagCode code, DiagSeverity severity, std::string object,
+                         int line, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.object = std::move(object);
+  d.line = line;
+  d.message = std::move(message);
+  diagnostics_.push_back(std::move(d));
+}
+
+void AnalysisReport::merge(const AnalysisReport& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+size_t AnalysisReport::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == DiagSeverity::kError) ++n;
+  }
+  return n;
+}
+
+size_t AnalysisReport::warning_count() const {
+  return diagnostics_.size() - error_count();
+}
+
+bool AnalysisReport::has(DiagCode code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string AnalysisReport::describe(const std::string& file) const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.format(file);
+    out += '\n';
+  }
+  return out;
+}
+
+void AnalysisReport::sort_by_location() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.severity != b.severity)
+                       return a.severity == DiagSeverity::kError;
+                     return static_cast<int>(a.code) < static_cast<int>(b.code);
+                   });
+}
+
+namespace {
+
+std::string analysis_error_what(const AnalysisReport& report) {
+  std::string what = format("analysis found %zu error(s)", report.error_count());
+  if (report.warning_count() > 0) {
+    what += format(" and %zu warning(s)", report.warning_count());
+  }
+  what += ":\n";
+  what += report.describe();
+  // Drop the trailing newline so what() composes into single-line logs.
+  if (!what.empty() && what.back() == '\n') what.pop_back();
+  return what;
+}
+
+}  // namespace
+
+AnalysisError::AnalysisError(AnalysisReport report)
+    : Error(analysis_error_what(report)), report_(std::move(report)) {}
+
+void preflight(const AnalysisReport& report) {
+  if (report.has_errors()) throw AnalysisError(report);
+}
+
+}  // namespace rotsv

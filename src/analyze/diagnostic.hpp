@@ -1,0 +1,115 @@
+// Diagnostic engine for the static analyzer: machine-readable codes, severity,
+// optional SPICE source location, and a human message per finding, collected
+// into an AnalysisReport that preflight hooks can turn into a hard failure.
+//
+// Codes are stable strings (e.g. "floating-node"); golden tests and the JSONL
+// result store key on them, so renaming one is a format change.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+enum class DiagSeverity { kWarning, kError };
+
+enum class DiagCode {
+  // -- circuit structure ----------------------------------------------------
+  kFloatingNode,      ///< node with fewer than 2 device terminals
+  kNoDcPath,          ///< node island with no conductive path to ground
+  kShortedVsource,    ///< voltage source with both terminals on one node
+  kVsourceLoop,       ///< loop of voltage sources (linearly dependent rows)
+  kMosShorted,        ///< all four MOSFET terminals on one node
+  kMosChannelShort,   ///< MOSFET with drain == source
+  kDuplicateDevice,   ///< device names identical up to case
+  // -- element values -------------------------------------------------------
+  kBadResistance,     ///< R <= 0 or non-finite
+  kBadCapacitance,    ///< C < 0 or non-finite
+  kZeroCapacitance,   ///< C == 0 (legal but almost always a typo)
+  kBadGeometry,       ///< MOSFET W or L <= 0 or non-finite
+  kNonFiniteValue,    ///< source value or IC is NaN/inf
+  // -- netlist directives ---------------------------------------------------
+  kIcUnknownNode,     ///< .IC names a node no device terminal touches
+  kBadTranWindow,     ///< .TRAN stop time <= 0 or non-finite
+  kTranStepTooLarge,  ///< .TRAN step exceeds the stop time
+  // -- DfT architecture / control ------------------------------------------
+  kBadDftConfig,      ///< nonsensical group/TSV counts or die area
+  kBadMeterConfig,    ///< period-meter bits/window out of range
+  kBypassSizeMismatch,///< BY[] length != selected group size
+  kIllegalControl,    ///< illegal TE/OE combination
+  kTsvUncovered,      ///< TSV id not covered by any group
+  kTsvMultiCovered,   ///< TSV id covered by more than one group
+  kDecoderOutOfRange, ///< selected group outside the decoder range
+  // -- tester / campaign configuration --------------------------------------
+  kBadTesterConfig,   ///< group size / calibration / run window nonsense
+  kBadVoltagePlan,    ///< empty plan or non-positive/non-finite voltage
+  kDuplicateVoltage,  ///< same voltage listed twice in the plan
+  kBadDefectMix,      ///< rates outside [0,1] or inverted parameter ranges
+  kBadPresetBands,    ///< preset band count/order inconsistent with the plan
+  kBadCampaignGrid,   ///< wafer/grid geometry with no dice
+};
+
+/// Stable machine-readable name of a code, e.g. "floating-node".
+const char* diag_code_name(DiagCode code);
+
+/// "error" / "warning".
+const char* diag_severity_name(DiagSeverity severity);
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kFloatingNode;
+  DiagSeverity severity = DiagSeverity::kError;
+  /// Device, node, or config field the finding is about (may be empty).
+  std::string object;
+  /// 1-based SPICE source line; 0 for programmatic circuits / config checks.
+  int line = 0;
+  std::string message;
+
+  /// "file:line: severity: message [code]" (file/line parts omitted when
+  /// unknown). `file` may be empty.
+  std::string format(const std::string& file = "") const;
+};
+
+class AnalysisReport {
+ public:
+  void add(DiagCode code, DiagSeverity severity, std::string object, int line,
+           std::string message);
+  void merge(const AnalysisReport& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+
+  /// True if any diagnostic carries `code`.
+  bool has(DiagCode code) const;
+
+  /// One formatted diagnostic per line (see Diagnostic::format).
+  std::string describe(const std::string& file = "") const;
+
+  /// Orders by (line, severity desc, code) for stable golden output.
+  void sort_by_location();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown by preflight hooks when an analysis finds errors; carries the full
+/// report so CLIs can print every finding, not just the first.
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(AnalysisReport report);
+
+  const AnalysisReport& report() const { return report_; }
+
+ private:
+  AnalysisReport report_;
+};
+
+/// Throws AnalysisError when `report` contains errors; warnings pass.
+void preflight(const AnalysisReport& report);
+
+}  // namespace rotsv

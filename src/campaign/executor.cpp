@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "analyze/analyze.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -99,6 +100,17 @@ CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
     }
   }
   report.resumed_dice = static_cast<int>(resumed.completed.size());
+
+  // --- preflight: reject a bad spec before any simulation runs --------------
+  if (options.preflight) {
+    const AnalysisReport analysis = analyze_campaign(spec_);
+    if (analysis.has_errors()) {
+      // The diagnostic list goes into the result log so a failed lot leaves
+      // a machine-readable record of *why* nothing was screened.
+      if (store) store->write_diagnostics(analysis);
+      throw AnalysisError(analysis);
+    }
+  }
 
   // --- calibration: once per campaign, shared by every die ------------------
   const auto calibration_start = Clock::now();

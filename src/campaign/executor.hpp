@@ -26,6 +26,11 @@ struct CampaignRunOptions {
   /// must carry the same campaign fingerprint; completed dice are skipped
   /// and stored calibration bands are reused (no re-calibration).
   bool resume = false;
+  /// Run the static analyzer over the campaign spec before calibrating and
+  /// throw AnalysisError on errors, recording the diagnostic list in the
+  /// result log. On by default: one bad die spec must not cost a lot of
+  /// simulation. rotsv_campaign exposes --no-preflight as the escape hatch.
+  bool preflight = true;
   /// Optional per-die completion hook (called from worker threads, serialized).
   std::function<void(const DieResult&, int done, int total)> progress;
 };

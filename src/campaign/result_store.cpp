@@ -123,6 +123,19 @@ void CampaignResultStore::write_bands(
   }
 }
 
+void CampaignResultStore::write_diagnostics(const AnalysisReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Diagnostic& d : report.diagnostics()) {
+    JsonRecord rec;
+    rec.set("type", "preflight")
+        .set("code", diag_code_name(d.code))
+        .set("severity", diag_severity_name(d.severity))
+        .set("object", d.object)
+        .set("message", d.message);
+    writer_.write(rec);
+  }
+}
+
 void CampaignResultStore::append(const DieResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
   writer_.write(die_to_record(result));

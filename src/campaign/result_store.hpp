@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "campaign/campaign_spec.hpp"
 #include "stats/classifier.hpp"
 #include "util/jsonl.hpp"
@@ -63,6 +64,10 @@ class CampaignResultStore {
   /// Records the calibration pass bands (once, after calibrate()).
   void write_bands(const std::vector<std::pair<double, double>>& bands,
                    const std::vector<double>& voltages);
+
+  /// Records preflight findings, one {"type":"preflight"} record per
+  /// diagnostic, so a rejected spec leaves a machine-readable reason trail.
+  void write_diagnostics(const AnalysisReport& report);
 
   /// Appends one die result. Thread-safe; flushed before returning.
   void append(const DieResult& result);

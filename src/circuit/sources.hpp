@@ -69,6 +69,8 @@ class CurrentSource : public Device {
   void load(Stamper& stamper, const LoadContext& ctx) const override;
   std::vector<NodeId> terminals() const override { return {p_, n_}; }
 
+  const SourceWaveform& waveform() const { return waveform_; }
+
  private:
   NodeId p_, n_;
   SourceWaveform waveform_;

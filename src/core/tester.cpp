@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "analyze/analyze.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -25,9 +26,10 @@ PreBondTsvTester::PreBondTsvTester(const TesterConfig& config)
     : config_(config),
       classifiers_(config.voltages.size()),
       calibration_(config.voltages.size()) {
-  require(!config.voltages.empty(), "tester: at least one voltage level required");
-  require(config.group_size >= 1, "tester: group_size >= 1");
-  require(config.calibration_samples >= 2, "tester: calibration needs >= 2 samples");
+  // Full configuration preflight: every downstream failure this would cause
+  // (calibration divergence, meter overflow, useless voltage points) is
+  // cheaper to reject here, as a diagnostic list, than mid-campaign.
+  preflight(analyze_tester_config(config));
 }
 
 void PreBondTsvTester::calibrate() {

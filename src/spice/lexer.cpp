@@ -65,7 +65,10 @@ LexedNetlist lex_spice(const std::string& text) {
     if (line[0] == '*') continue;  // comment card
     if (line[0] == '+') {
       if (!logical.empty()) {
-        logical.back().second += " " + trim(line.substr(1));
+        // Appended piecewise: gcc 12's -Wrestrict false positive fires on
+        // the `const char* + rvalue string` chain at -O2.
+        logical.back().second += ' ';
+        logical.back().second += trim(line.substr(1));
       }
       continue;
     }

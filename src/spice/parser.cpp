@@ -4,12 +4,24 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analyze/analyze.hpp"
 #include "models/ptm45.hpp"
 #include "spice/lexer.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace rotsv {
+
+int NetlistSourceMap::device_line(const std::string& name) const {
+  auto it = device_lines.find(name);
+  return it != device_lines.end() ? it->second : 0;
+}
+
+int NetlistSourceMap::node_line(const std::string& name) const {
+  auto it = node_lines.find(name);
+  return it != node_lines.end() ? it->second : 0;
+}
+
 namespace {
 
 struct SubcktDef {
@@ -33,6 +45,7 @@ class Parser {
       parse_card(card, /*prefix=*/"", /*port_map=*/{});
     }
     if (tran_.has_value()) out.tran = tran_;
+    out.source = std::move(source_);
     return out;
   }
 
@@ -140,9 +153,17 @@ class Parser {
                   const PortMap& ports) {
     const std::string key = to_lower(raw);
     auto it = ports.find(key);
-    if (it != ports.end()) return circuit_->node(it->second);
+    if (it != ports.end()) return note_node(circuit_->node(it->second));
     if (key == "0" || key == "gnd" || key == "vss") return kGround;
-    return circuit_->node(prefix + raw);
+    return note_node(circuit_->node(prefix + raw));
+  }
+
+  /// Records the first line referencing a node (for located diagnostics).
+  NodeId note_node(NodeId id) {
+    if (!id.is_ground()) {
+      source_.node_lines.emplace(circuit_->nodes().name(id), current_line_);
+    }
+    return id;
   }
 
   SourceWaveform parse_waveform(const SpiceLine& card, size_t first_token) {
@@ -181,10 +202,26 @@ class Parser {
 
   void parse_card(const SpiceLine& card, const std::string& prefix,
                   const PortMap& ports) {
+    try {
+      parse_card_impl(card, prefix, ports);
+    } catch (const ParseError&) {
+      throw;
+    } catch (const NetlistError& e) {
+      // Device constructors validate element values (R > 0, C >= 0, ...);
+      // attach the offending card's line so CLIs report file:line instead
+      // of a bare message.
+      throw ParseError(e.what(), card.number);
+    }
+  }
+
+  void parse_card_impl(const SpiceLine& card, const std::string& prefix,
+                       const PortMap& ports) {
     const std::string& head = card.tokens[0];
     const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(head[0])));
     const std::string name = prefix + head;
     const auto& t = card.tokens;
+    current_line_ = card.number;
+    if (kind != 'x' && kind != '.') source_.device_lines[name] = card.number;
 
     switch (kind) {
       case 'r': {
@@ -299,6 +336,8 @@ class Parser {
 
   LexedNetlist lexed_;
   Circuit* circuit_ = nullptr;
+  NetlistSourceMap source_;
+  int current_line_ = 0;
   std::vector<std::unique_ptr<MosModelCard>>* models_ = nullptr;
   std::unordered_map<std::string, const MosModelCard*> model_index_;
   std::unordered_map<std::string, SubcktDef> subckts_;
@@ -308,14 +347,22 @@ class Parser {
 
 }  // namespace
 
-ParsedNetlist parse_spice(const std::string& text) { return Parser(text).run(); }
+ParsedNetlist parse_spice(const std::string& text, const ParseOptions& options) {
+  ParsedNetlist net = Parser(text).run();
+  if (options.preflight) {
+    AnalyzeOptions analyze;
+    analyze.allow_single_terminal = options.allow_single_terminal;
+    preflight(analyze_netlist(net, analyze));
+  }
+  return net;
+}
 
-ParsedNetlist parse_spice_file(const std::string& path) {
+ParsedNetlist parse_spice_file(const std::string& path, const ParseOptions& options) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open netlist file: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_spice(ss.str());
+  return parse_spice(ss.str(), options);
 }
 
 }  // namespace rotsv

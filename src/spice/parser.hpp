@@ -18,12 +18,26 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "sim/transient.hpp"
 
 namespace rotsv {
+
+/// Source locations the parser records while building the circuit, so the
+/// static analyzer can point findings at netlist lines instead of just names.
+struct NetlistSourceMap {
+  /// Device name (as stored in the Circuit) -> 1-based line of its card.
+  std::unordered_map<std::string, int> device_lines;
+  /// Node name -> 1-based line of its first reference (ground excluded).
+  std::unordered_map<std::string, int> node_lines;
+
+  /// Line for a device/node name; 0 when unknown.
+  int device_line(const std::string& name) const;
+  int node_line(const std::string& name) const;
+};
 
 struct ParsedNetlist {
   std::string title;
@@ -33,12 +47,25 @@ struct ParsedNetlist {
   std::vector<std::unique_ptr<MosModelCard>> models;
   /// Transient request from .TRAN (t_stop and dt_max filled in).
   std::optional<TransientOptions> tran;
+  /// Where every device and node came from (for located diagnostics).
+  NetlistSourceMap source;
 };
 
-/// Parses netlist text. Throws ParseError with line information on errors.
-ParsedNetlist parse_spice(const std::string& text);
+struct ParseOptions {
+  /// Run the static analyzer on the parsed netlist and throw AnalysisError
+  /// (with the full diagnostic list) when it reports errors. Warnings pass.
+  bool preflight = false;
+  /// Forwarded to the analyzer when `preflight` is set.
+  bool allow_single_terminal = false;
+};
+
+/// Parses netlist text. Throws ParseError with line information on errors;
+/// with options.preflight set, additionally throws AnalysisError on
+/// ill-formed (but syntactically valid) circuits.
+ParsedNetlist parse_spice(const std::string& text, const ParseOptions& options = {});
 
 /// Reads and parses a netlist file; throws rotsv::Error if unreadable.
-ParsedNetlist parse_spice_file(const std::string& path);
+ParsedNetlist parse_spice_file(const std::string& path,
+                               const ParseOptions& options = {});
 
 }  // namespace rotsv

@@ -1,0 +1,25 @@
+#include "util/cli.hpp"
+
+namespace rotsv {
+
+std::string describe_cli_error(const std::string& file, const Error& error) {
+  if (const auto* parse = dynamic_cast<const ParseError*>(&error)) {
+    std::string out = file.empty() ? "line " : file + ":";
+    out += std::to_string(parse->line());
+    out += ": syntax error: ";
+    out += parse->detail();
+    return out;
+  }
+  std::string out;
+  if (!file.empty()) out = file + ": ";
+  out += "error: ";
+  out += error.what();
+  return out;
+}
+
+int cli_exit_code(const Error& error) {
+  return dynamic_cast<const ParseError*>(&error) != nullptr ? kExitParse
+                                                            : kExitIo;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,31 @@
+// Shared CLI conventions for the rotsv tools (rotsv_lint, rotsv_campaign):
+// one exit-code vocabulary and one error-printing format, so scripts can
+// distinguish "the input is wrong" from "the file is unreadable" from
+// "the invocation is wrong" without parsing stderr.
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+enum ExitCode : int {
+  kExitOk = 0,           ///< clean (possibly with warnings)
+  kExitDiagnostics = 1,  ///< analysis/preflight found errors
+  kExitUsage = 2,        ///< bad flags or arguments
+  kExitParse = 3,        ///< netlist syntax error (printed file:line)
+  kExitIo = 4,           ///< unreadable file or other I/O failure
+};
+
+/// Formats a library error for stderr, consistently across tools:
+///   ParseError -> "<file>:<line>: syntax error: <detail>"
+///   other      -> "<file>: error: <what>"   (file prefix dropped when empty)
+std::string describe_cli_error(const std::string& file, const Error& error);
+
+/// Exit code for a library error: kExitParse for ParseError, kExitIo for
+/// everything else (AnalysisError is handled by callers that can print the
+/// full report, and maps to kExitDiagnostics).
+int cli_exit_code(const Error& error);
+
+}  // namespace rotsv

@@ -32,11 +32,25 @@ class ConvergenceError : public Error {
 class ParseError : public Error {
  public:
   ParseError(const std::string& what, int line)
-      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+      : Error(prefixed(what, line)), detail_(what), line_(line) {}
 
   int line() const { return line_; }
 
+  /// The message without the "line N: " prefix (for file:line formatting).
+  const std::string& detail() const { return detail_; }
+
  private:
+  // Built by append rather than an operator+ chain: gcc 12's -Wrestrict
+  // false positive fires on `const char* + rvalue string` at -O2.
+  static std::string prefixed(const std::string& what, int line) {
+    std::string msg = "line ";
+    msg += std::to_string(line);
+    msg += ": ";
+    msg += what;
+    return msg;
+  }
+
+  std::string detail_;
   int line_;
 };
 

@@ -1,0 +1,7 @@
+two devices whose names differ only by case
+* expect: duplicate-device
+v1 in 0 dc 1.0
+r1 in mid 1k
+R1 mid 0 1k
+.tran 1n 10n
+.end

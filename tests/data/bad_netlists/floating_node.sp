@@ -1,0 +1,8 @@
+resistor tail left dangling in the air
+* expect: floating-node
+v1 in 0 dc 1.0
+r1 in out 1k
+r2 in 0 2k
+* 'out' is touched only by r1 -- nothing closes the branch
+.tran 1n 10n
+.end

@@ -1,0 +1,8 @@
+.ic on a node no device touches
+* expect: floating-node ic-unknown-node
+v1 in 0 dc 1.0
+r1 in out 1k
+c1 out 0 10f
+.ic v(outt)=0.5
+.tran 1n 10n
+.end

@@ -1,0 +1,9 @@
+negative resistance from a sign typo
+* expect-parse-error
+* The resistor constructor enforces R > 0, so this dies at parse time;
+* the parser attaches the card line and CLIs exit with the parse code.
+v1 in 0 dc 1.0
+r1 in out -1k
+r2 out 0 1k
+.tran 1n 10n
+.end

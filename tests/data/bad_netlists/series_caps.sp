@@ -1,0 +1,10 @@
+capacitor-only island with no dc path to ground
+* expect: no-dc-path
+* The node between two series capacitors has no conductive route to 0:
+* its dc operating point is set entirely by the simulator's gmin shunt,
+* so the "solution" is numerical garbage rather than physics.
+v1 in 0 pulse(0 1.0 1n 0.1n 0.1n 4n 8n)
+c1 in mid 10f
+c2 mid 0 10f
+.tran 10p 20n
+.end

@@ -1,0 +1,7 @@
+mosfet with all four terminals tied to one node
+* expect: mos-shorted
+vdd vdd 0 dc 1.1
+m1 vdd vdd vdd vdd nmos45lp w=415n l=50n
+r1 vdd 0 10k
+.tran 5p 4n
+.end

@@ -1,0 +1,8 @@
+voltage source shorted onto its own node
+* expect: shorted-vsource
+* Both terminals on 'a' give the source a zero branch row: the mna matrix
+* has a hard zero pivot and newton dies with a timestep underflow.
+v1 a a dc 1.0
+r1 a 0 1k
+.tran 1n 10n
+.end

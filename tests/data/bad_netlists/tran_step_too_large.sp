@@ -1,0 +1,7 @@
+.tran step larger than the stop time (warning only)
+* expect: tran-step-too-large
+v1 in 0 dc 1.0
+r1 in out 1k
+c1 out 0 10f
+.tran 5n 1n
+.end

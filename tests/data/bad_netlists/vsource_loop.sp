@@ -1,0 +1,10 @@
+two voltage sources in parallel form a loop
+* expect: vsource-loop
+* Two sources pinning the same node pair make the branch equations
+* linearly dependent; lu factorization hits a zero pivot and the
+* transient aborts with a convergence error instead of a diagnosis.
+v1 a 0 dc 1.0
+v2 a 0 dc 0.9
+r1 a 0 1k
+.tran 1n 10n
+.end

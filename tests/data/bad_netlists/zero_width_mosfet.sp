@@ -1,0 +1,9 @@
+mosfet with zero channel width
+* expect: bad-geometry
+vdd vdd 0 dc 1.1
+vin in 0 dc 0.0
+m1 out in vdd vdd pmos45lp w=0 l=50n
+m2 out in 0 0 nmos45lp w=415n l=50n
+c1 out 0 5f
+.tran 5p 4n
+.end

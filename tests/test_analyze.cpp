@@ -1,0 +1,284 @@
+// Golden-diagnostic tests for the static analyzer library API: every check
+// is exercised through the code (DiagCode) it must emit, on both netlist
+// and programmatic inputs, plus the preflight hooks that turn reports into
+// AnalysisError.
+#include <gtest/gtest.h>
+
+#include "analyze/analyze.hpp"
+#include "spice/parser.hpp"
+
+namespace rotsv {
+namespace {
+
+std::vector<DiagCode> codes_of(const AnalysisReport& report) {
+  std::vector<DiagCode> codes;
+  for (const Diagnostic& d : report.diagnostics()) codes.push_back(d.code);
+  return codes;
+}
+
+TEST(AnalyzeCircuit, CleanInverterNetlistIsEmpty) {
+  const ParsedNetlist net = parse_spice(
+      "clean inverter\n"
+      "vdd vdd 0 dc 1.1\n"
+      "vin in 0 dc 0.0\n"
+      "m1 out in vdd vdd pmos45lp w=630n l=50n\n"
+      "m2 out in 0 0 nmos45lp w=415n l=50n\n"
+      "c1 out 0 5f\n"
+      ".tran 5p 4n\n");
+  const AnalysisReport report = analyze_netlist(net);
+  EXPECT_TRUE(report.empty()) << report.describe();
+}
+
+TEST(AnalyzeCircuit, FloatingNodeCarriesSourceLine) {
+  const ParsedNetlist net = parse_spice(
+      "dangling resistor\n"
+      "v1 in 0 dc 1.0\n"
+      "r1 in out 1k\n"
+      "r2 in 0 2k\n");
+  const AnalysisReport report = analyze_netlist(net);
+  ASSERT_EQ(report.diagnostics().size(), 1u) << report.describe();
+  const Diagnostic& d = report.diagnostics()[0];
+  EXPECT_EQ(d.code, DiagCode::kFloatingNode);
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+  EXPECT_EQ(d.object, "out");
+  EXPECT_EQ(d.line, 3);  // first reference to 'out' is the r1 card
+}
+
+TEST(AnalyzeCircuit, AllowSingleTerminalRelaxesFloatingNode) {
+  const ParsedNetlist net = parse_spice(
+      "dangling resistor\n"
+      "v1 in 0 dc 1.0\n"
+      "r1 in out 1k\n"
+      "r2 in 0 2k\n");
+  AnalyzeOptions options;
+  options.allow_single_terminal = true;
+  EXPECT_TRUE(analyze_netlist(net, options).empty());
+}
+
+TEST(AnalyzeCircuit, SeriesCapsHaveNoDcPath) {
+  const ParsedNetlist net = parse_spice(
+      "cap divider\n"
+      "v1 in 0 dc 1.0\n"
+      "c1 in mid 10f\n"
+      "c2 mid 0 10f\n");
+  const AnalysisReport report = analyze_netlist(net);
+  ASSERT_TRUE(report.has(DiagCode::kNoDcPath)) << report.describe();
+  EXPECT_EQ(report.diagnostics()[0].object, "mid");
+}
+
+TEST(AnalyzeCircuit, MosChannelProvidesDcPath) {
+  // The analyzer must treat the d-s channel as conductive, or every CMOS
+  // output node would be a false no-dc-path positive.
+  const ParsedNetlist net = parse_spice(
+      "nmos pulldown\n"
+      "vdd vdd 0 dc 1.1\n"
+      "vin in 0 dc 1.1\n"
+      "m1 out in 0 0 nmos45lp w=415n l=50n\n"
+      "r1 out vdd 10k\n"
+      "c1 out 0 5f\n");
+  EXPECT_TRUE(analyze_netlist(net).empty());
+}
+
+TEST(AnalyzeCircuit, VsourceLoopAndShort) {
+  const ParsedNetlist loop = parse_spice(
+      "parallel sources\n"
+      "v1 a 0 dc 1.0\n"
+      "v2 a 0 dc 0.9\n"
+      "r1 a 0 1k\n");
+  EXPECT_TRUE(analyze_netlist(loop).has(DiagCode::kVsourceLoop));
+
+  const ParsedNetlist shorted = parse_spice(
+      "self short\n"
+      "v1 a a dc 1.0\n"
+      "r1 a 0 1k\n");
+  EXPECT_TRUE(analyze_netlist(shorted).has(DiagCode::kShortedVsource));
+}
+
+TEST(AnalyzeCircuit, MosfetDegeneracies) {
+  const ParsedNetlist net = parse_spice(
+      "broken mosfets\n"
+      "vdd vdd 0 dc 1.1\n"
+      "m1 vdd vdd vdd vdd nmos45lp w=415n l=50n\n"
+      "m2 out out out 0 nmos45lp w=0 l=50n\n"
+      "r1 vdd out 1k\n"
+      "r2 out 0 1k\n");
+  const AnalysisReport report = analyze_netlist(net);
+  EXPECT_TRUE(report.has(DiagCode::kMosShorted));
+  EXPECT_TRUE(report.has(DiagCode::kBadGeometry));
+  EXPECT_TRUE(report.has(DiagCode::kMosChannelShort));  // m2 d==s, warning
+  EXPECT_EQ(report.error_count(), 2u) << report.describe();
+  EXPECT_EQ(report.warning_count(), 1u) << report.describe();
+}
+
+TEST(AnalyzeCircuit, DuplicateDeviceNamesAreCaseInsensitive) {
+  const ParsedNetlist net = parse_spice(
+      "case clash\n"
+      "v1 in 0 dc 1.0\n"
+      "r1 in mid 1k\n"
+      "R1 mid 0 1k\n");
+  const AnalysisReport report = analyze_netlist(net);
+  ASSERT_TRUE(report.has(DiagCode::kDuplicateDevice)) << report.describe();
+}
+
+TEST(AnalyzeNetlist, DirectiveChecks) {
+  const ParsedNetlist net = parse_spice(
+      "step exceeds window\n"
+      "v1 in 0 dc 1.0\n"
+      "r1 in out 1k\n"
+      "c1 out 0 10f\n"
+      ".ic v(typo)=0.5\n"
+      ".tran 5n 1n\n");
+  const AnalysisReport report = analyze_netlist(net);
+  EXPECT_TRUE(report.has(DiagCode::kTranStepTooLarge));
+  EXPECT_TRUE(report.has(DiagCode::kIcUnknownNode));
+}
+
+TEST(AnalyzeNetlist, PreflightOptionThrowsAnalysisError) {
+  ParseOptions options;
+  options.preflight = true;
+  try {
+    parse_spice(
+        "broken\n"
+        "v1 a 0 dc 1.0\n"
+        "v2 a 0 dc 0.9\n"
+        "r1 a 0 1k\n",
+        options);
+    FAIL() << "preflight accepted a voltage-source loop";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().has(DiagCode::kVsourceLoop));
+    EXPECT_NE(std::string(e.what()).find("vsource-loop"), std::string::npos);
+  }
+}
+
+TEST(AnalyzeNetlist, PreflightOptionPassesCleanNetlist) {
+  ParseOptions options;
+  options.preflight = true;
+  const ParsedNetlist net = parse_spice(
+      "clean rc\n"
+      "v1 in 0 dc 1.0\n"
+      "r1 in out 1k\n"
+      "c1 out 0 10f\n"
+      ".tran 1p 1n\n",
+      options);
+  EXPECT_EQ(net.circuit->device_count(), 3u);
+}
+
+TEST(Diagnostic, FormatIncludesFileLineAndCode) {
+  Diagnostic d;
+  d.code = DiagCode::kFloatingNode;
+  d.severity = DiagSeverity::kError;
+  d.object = "out";
+  d.line = 7;
+  d.message = "node 'out' has 1 device terminal(s) attached";
+  EXPECT_EQ(d.format("a.sp"),
+            "a.sp:7: error: node 'out' has 1 device terminal(s) attached "
+            "[floating-node]");
+}
+
+TEST(AnalyzeDft, CleanArchitectureAndControls) {
+  DftArchitectureConfig config;
+  config.tsv_count = 12;
+  config.group_size = 4;
+  const DftArchitecture arch(config);
+  EXPECT_TRUE(analyze_dft(arch).empty());
+  EXPECT_TRUE(analyze_control(arch, arch.control_functional()).empty());
+  EXPECT_TRUE(analyze_control(arch, arch.control_reference(0)).empty());
+  EXPECT_TRUE(analyze_control(arch, arch.control_for_tsv(5)).empty());
+}
+
+TEST(AnalyzeDft, BadConfigValues) {
+  DftArchitectureConfig config;
+  config.tsv_count = 0;
+  config.group_size = -1;
+  config.meter.bits = 70;
+  config.meter.window = 0.0;
+  const AnalysisReport report = analyze_dft_config(config);
+  EXPECT_TRUE(report.has(DiagCode::kBadDftConfig));
+  EXPECT_TRUE(report.has(DiagCode::kBadMeterConfig));
+  EXPECT_GE(report.error_count(), 3u) << report.describe();
+}
+
+TEST(AnalyzeDft, IllegalControlStates) {
+  DftArchitectureConfig config;
+  config.tsv_count = 8;
+  config.group_size = 4;
+  const DftArchitecture arch(config);
+
+  // Output enable without test enable drives the TSV net in functional mode.
+  ControlState bad = arch.control_functional();
+  bad.oe = true;
+  EXPECT_TRUE(analyze_control(arch, bad).has(DiagCode::kIllegalControl));
+
+  // Decoder selection outside the group range.
+  ControlState out_of_range = arch.control_reference(0);
+  out_of_range.selected_group = arch.group_count();
+  EXPECT_TRUE(
+      analyze_control(arch, out_of_range).has(DiagCode::kDecoderOutOfRange));
+
+  // BY[] sized for the wrong group.
+  ControlState mismatched = arch.control_reference(0);
+  mismatched.bypass.push_back(true);
+  EXPECT_TRUE(
+      analyze_control(arch, mismatched).has(DiagCode::kBypassSizeMismatch));
+}
+
+TEST(AnalyzeTester, DefaultConfigIsClean) {
+  EXPECT_TRUE(analyze_tester_config(TesterConfig{}).empty());
+}
+
+TEST(AnalyzeTester, BadPlanAndGuardBand) {
+  TesterConfig config;
+  config.voltages = {1.1, 1.1, -0.5};
+  config.guard_band_sigma = 0.0;
+  config.calibration_samples = 1;
+  const AnalysisReport report = analyze_tester_config(config);
+  EXPECT_TRUE(report.has(DiagCode::kBadVoltagePlan));
+  EXPECT_TRUE(report.has(DiagCode::kDuplicateVoltage));
+  EXPECT_TRUE(report.has(DiagCode::kBadTesterConfig));
+}
+
+TEST(AnalyzeCampaign, DefaultSpecIsClean) {
+  const AnalysisReport report = analyze_campaign(CampaignSpec{});
+  EXPECT_TRUE(report.empty()) << report.describe();
+}
+
+TEST(AnalyzeCampaign, BadGridMixAndBands) {
+  CampaignSpec spec;
+  spec.rows = 0;
+  spec.mix.open_rate = 1.5;
+  spec.mix.open_r_min = 1e6;
+  spec.mix.open_r_max = 1e3;
+  spec.preset_bands = {{1.0, 2.0}};  // plan has 4 voltages
+  const AnalysisReport report = analyze_campaign(spec);
+  EXPECT_TRUE(report.has(DiagCode::kBadCampaignGrid));
+  EXPECT_TRUE(report.has(DiagCode::kBadDefectMix));
+  EXPECT_TRUE(report.has(DiagCode::kBadPresetBands));
+}
+
+TEST(AnalysisReport, PreflightThrowsOnlyOnErrors) {
+  AnalysisReport warnings_only;
+  warnings_only.add(DiagCode::kTranStepTooLarge, DiagSeverity::kWarning,
+                    ".tran", 0, "step exceeds window");
+  EXPECT_NO_THROW(preflight(warnings_only));
+
+  AnalysisReport with_error = warnings_only;
+  with_error.add(DiagCode::kFloatingNode, DiagSeverity::kError, "out", 3,
+                 "dangling");
+  EXPECT_THROW(preflight(with_error), AnalysisError);
+}
+
+TEST(AnalysisReport, SortByLocationIsStableGoldenOrder) {
+  AnalysisReport report;
+  report.add(DiagCode::kNoDcPath, DiagSeverity::kError, "b", 9, "late");
+  report.add(DiagCode::kTranStepTooLarge, DiagSeverity::kWarning, ".tran", 2,
+             "warn");
+  report.add(DiagCode::kFloatingNode, DiagSeverity::kError, "a", 2, "early");
+  report.sort_by_location();
+  const std::vector<DiagCode> expected = {DiagCode::kFloatingNode,
+                                          DiagCode::kTranStepTooLarge,
+                                          DiagCode::kNoDcPath};
+  EXPECT_EQ(codes_of(report), expected);
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -305,5 +305,47 @@ TEST(CampaignRun, ResumeNeedsAPath) {
   EXPECT_THROW(run_campaign(spec, options), ConfigError);
 }
 
+TEST(CampaignRun, PreflightRejectsMalformedSpecBeforeAnySimulation) {
+  // A zero-bit period meter slips past CampaignSpec::validate() but can
+  // never count an oscillation; the preflight must stop the lot before a
+  // single transient runs and leave the reason in the result log.
+  CampaignSpec spec = small_campaign();
+  spec.tester.meter.bits = 0;
+  const std::string path = ::testing::TempDir() + "rotsv_preflight_test.jsonl";
+
+  CampaignRunOptions options;
+  options.result_path = path;
+  try {
+    run_campaign(spec, options);
+    FAIL() << "preflight accepted a zero-bit period meter";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().has(DiagCode::kBadMeterConfig))
+        << e.report().describe();
+  }
+
+  // The log holds the header plus machine-readable preflight records and
+  // no die results (nothing was screened).
+  const JsonlReadResult log = read_jsonl(path);
+  ASSERT_GE(log.records.size(), 2u);
+  size_t preflight_records = 0;
+  for (const JsonRecord& rec : log.records) {
+    ASSERT_TRUE(rec.has("type"));
+    EXPECT_NE(rec.get_string("type"), "die");
+    if (rec.get_string("type") == "preflight") {
+      ++preflight_records;
+      EXPECT_EQ(rec.get_string("code"), "bad-meter-config");
+      EXPECT_EQ(rec.get_string("severity"), "error");
+    }
+  }
+  EXPECT_GE(preflight_records, 1u);
+  std::remove(path.c_str());
+
+  // The escape hatch (--no-preflight) skips the spec analysis; the broken
+  // meter config then surfaces later, from tester construction.
+  CampaignRunOptions no_preflight;
+  no_preflight.preflight = false;
+  EXPECT_THROW(run_campaign(spec, no_preflight), Error);
+}
+
 }  // namespace
 }  // namespace rotsv

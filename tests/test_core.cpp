@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analyze/diagnostic.hpp"
 #include "core/baselines.hpp"
 #include "core/tester.hpp"
 #include "stats/descriptive.hpp"
@@ -22,12 +23,14 @@ TesterConfig small_tester_config() {
 }
 
 TEST(Tester, ConfigValidation) {
+  // Construction preflights the whole config through the static analyzer,
+  // so a bad config raises AnalysisError with the full diagnostic list.
   TesterConfig cfg = small_tester_config();
   cfg.voltages.clear();
-  EXPECT_THROW(PreBondTsvTester{cfg}, ConfigError);
+  EXPECT_THROW(PreBondTsvTester{cfg}, AnalysisError);
   cfg = small_tester_config();
   cfg.calibration_samples = 1;
-  EXPECT_THROW(PreBondTsvTester{cfg}, ConfigError);
+  EXPECT_THROW(PreBondTsvTester{cfg}, AnalysisError);
 }
 
 TEST(Tester, RequiresCalibrationBeforeTesting) {

@@ -1,0 +1,144 @@
+// Golden corpus tests: every netlist under tests/data/bad_netlists carries
+// an `* expect: code...` header naming the exact diagnostic codes the
+// analyzer must emit for it (or `* expect-parse-error` when the parser
+// itself must reject the file with a located ParseError). The clean example
+// netlists under examples/netlists must analyze clean.
+//
+// The corpus also anchors the analyzer's reason for existing: the
+// voltage-source-loop netlist is run through the transient engine to prove
+// it dies as an opaque convergence failure without preflight, and as a
+// located vsource-loop diagnostic with it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "sim/transient.hpp"
+#include "spice/parser.hpp"
+
+namespace rotsv {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kDataDir = ROTSV_TEST_DATA_DIR;
+const fs::path kCorpusDir = kDataDir / "bad_netlists";
+
+/// Parses the `* expect: ...` / `* expect-parse-error` header of a corpus
+/// netlist. An empty set with `parse_error == false` means a malformed file.
+struct Expectation {
+  std::set<std::string> codes;
+  bool parse_error = false;
+};
+
+Expectation read_expectation(const fs::path& path) {
+  std::ifstream in(path);
+  Expectation expect;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("* expect-parse-error", 0) == 0) {
+      expect.parse_error = true;
+      return expect;
+    }
+    if (line.rfind("* expect:", 0) == 0) {
+      std::istringstream tokens(line.substr(9));
+      std::string code;
+      while (tokens >> code) expect.codes.insert(code);
+      return expect;
+    }
+  }
+  return expect;
+}
+
+std::set<std::string> emitted_codes(const AnalysisReport& report) {
+  std::set<std::string> codes;
+  for (const Diagnostic& d : report.diagnostics()) {
+    codes.insert(diag_code_name(d.code));
+  }
+  return codes;
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(kCorpusDir)) {
+    if (entry.path().extension() == ".sp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(LintCorpus, EveryNetlistEmitsExactlyItsExpectedCodes) {
+  const std::vector<fs::path> files = corpus_files();
+  ASSERT_GE(files.size(), 10u) << "corpus went missing from " << kCorpusDir;
+  for (const fs::path& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const Expectation expect = read_expectation(path);
+    ASSERT_TRUE(expect.parse_error || !expect.codes.empty())
+        << "corpus file lacks an `* expect:` header";
+
+    if (expect.parse_error) {
+      EXPECT_THROW(parse_spice_file(path.string()), ParseError);
+      continue;
+    }
+    const ParsedNetlist net = parse_spice_file(path.string());
+    const AnalysisReport report = analyze_netlist(net);
+    EXPECT_EQ(emitted_codes(report), expect.codes) << report.describe();
+  }
+}
+
+TEST(LintCorpus, ParseErrorCarriesTheCardLine) {
+  try {
+    parse_spice_file((kCorpusDir / "negative_resistor.sp").string());
+    FAIL() << "negative resistance parsed";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 6);  // the r1 card
+    EXPECT_NE(std::string(e.detail()).find("R must be > 0"), std::string::npos);
+  }
+}
+
+TEST(LintCorpus, ExampleNetlistsAnalyzeClean) {
+  const fs::path examples = kDataDir / ".." / ".." / "examples" / "netlists";
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(examples)) {
+    if (entry.path().extension() != ".sp") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    const ParsedNetlist net = parse_spice_file(entry.path().string());
+    EXPECT_TRUE(analyze_netlist(net).empty())
+        << analyze_netlist(net).describe();
+    ++checked;
+  }
+  EXPECT_GE(checked, 2u);
+}
+
+// The regression the preflight exists for: without it, a voltage-source loop
+// reaches the numerics and dies as an uninformative Newton/timestep failure
+// (the linearly dependent branch rows make the MNA matrix singular); with it,
+// the same netlist is rejected up front with a located diagnostic.
+TEST(LintCorpus, PreflightPreemptsSingularTransient) {
+  const std::string path = (kCorpusDir / "vsource_loop.sp").string();
+
+  const ParsedNetlist net = parse_spice_file(path);  // no preflight
+  ASSERT_TRUE(net.tran.has_value());
+  EXPECT_THROW(run_transient(*net.circuit, *net.tran), ConvergenceError);
+
+  ParseOptions options;
+  options.preflight = true;
+  try {
+    parse_spice_file(path, options);
+    FAIL() << "preflight accepted a voltage-source loop";
+  } catch (const AnalysisError& e) {
+    ASSERT_EQ(e.report().diagnostics().size(), 1u);
+    const Diagnostic& d = e.report().diagnostics()[0];
+    EXPECT_EQ(d.code, DiagCode::kVsourceLoop);
+    EXPECT_EQ(d.line, 7);  // the v2 card closes the loop
+  }
+}
+
+}  // namespace
+}  // namespace rotsv

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/jsonl.hpp"
@@ -398,6 +399,32 @@ TEST(Jsonl, WriterAppendsAndReaderSkipsPartialTail) {
 
   EXPECT_TRUE(read_jsonl("/nonexistent_dir_xyz/nope.jsonl").records.empty());
   EXPECT_THROW(JsonlWriter("/nonexistent_dir_xyz/nope.jsonl", false), Error);
+}
+
+TEST(Cli, ParseErrorsPrintFileLineAndGetTheParseExitCode) {
+  const ParseError parse("unknown subcircuit: foo", 12);
+  EXPECT_EQ(describe_cli_error("a.sp", parse),
+            "a.sp:12: syntax error: unknown subcircuit: foo");
+  EXPECT_EQ(describe_cli_error("", parse),
+            "line 12: syntax error: unknown subcircuit: foo");
+  EXPECT_EQ(cli_exit_code(parse), kExitParse);
+}
+
+TEST(Cli, OtherErrorsPrintPlainlyAndGetTheIoExitCode) {
+  const ConfigError config("resume: checkpoint belongs to a different campaign");
+  EXPECT_EQ(describe_cli_error("lot0.jsonl", config),
+            "lot0.jsonl: error: resume: checkpoint belongs to a different "
+            "campaign");
+  EXPECT_EQ(describe_cli_error("", config),
+            "error: resume: checkpoint belongs to a different campaign");
+  EXPECT_EQ(cli_exit_code(config), kExitIo);
+}
+
+TEST(Cli, ParseErrorKeepsDetailSeparateFromPrefixedWhat) {
+  const ParseError e("bad number: 1kk", 4);
+  EXPECT_EQ(e.line(), 4);
+  EXPECT_EQ(e.detail(), "bad number: 1kk");
+  EXPECT_STREQ(e.what(), "line 4: bad number: 1kk");
 }
 
 }  // namespace

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "campaign/campaign.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -42,6 +44,7 @@ void usage(const char* argv0) {
       "  --out PATH      JSONL result log (default: campaign_results.jsonl)\n"
       "  --resume        continue from the existing result log\n"
       "  --fast          short simulation windows (demo/smoke speed)\n"
+      "  --no-preflight  skip the static spec analysis before screening\n"
       "  --quiet         suppress per-die progress\n",
       argv0);
 }
@@ -76,6 +79,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   bool fast = false;
   bool quiet = false;
+  bool preflight = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,6 +139,8 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--fast") {
       fast = true;
+    } else if (arg == "--no-preflight") {
+      preflight = false;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -155,6 +161,13 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (preflight) {
+      // Analyze before constructing anything so a bad spec prints the full
+      // located diagnostic list (exit 1) rather than the first bare
+      // ConfigError the executor's validation would throw.
+      const AnalysisReport analysis = analyze_campaign(spec);
+      if (analysis.has_errors()) throw AnalysisError(analysis);
+    }
     spec.validate();
     std::printf("campaign %s: %d wafer(s) x %d dice (%dx%d grid), %d TSV/die, "
                 "%zu voltage(s)\n",
@@ -166,6 +179,7 @@ int main(int argc, char** argv) {
     CampaignRunOptions options;
     options.result_path = out_path;
     options.resume = resume;
+    options.preflight = preflight;
     if (!quiet) {
       options.progress = [](const DieResult& die, int done, int total) {
         std::printf("  [%4d/%4d] w%d (%2d,%2d) -> %s\n", done, total, die.wafer,
@@ -188,9 +202,13 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s\n%s", report.aggregate.describe().c_str(),
                 report.throughput.describe().c_str());
-    return 0;
+    return kExitOk;
+  } catch (const AnalysisError& e) {
+    std::fprintf(stderr, "preflight rejected the campaign spec:\n%s",
+                 e.report().describe().c_str());
+    return kExitDiagnostics;
   } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "%s\n", describe_cli_error("", e).c_str());
+    return cli_exit_code(e);
   }
 }

@@ -1,0 +1,106 @@
+// rotsv_lint: static analyzer CLI for SPICE-subset netlists.
+//
+// Parses each netlist, runs the semantic analyzer (floating nodes, missing
+// DC paths, voltage-source loops, value sanity, .TRAN/.IC consistency) and
+// prints clang-style file:line diagnostics. Exit codes are distinct per
+// failure class so scripts can branch without parsing stderr:
+//   0  every file clean (warnings allowed unless --Werror)
+//   1  at least one file has analyzer errors
+//   2  usage error
+//   3  at least one file has a syntax error (printed file:line)
+//   4  at least one file was unreadable
+// When several classes occur across files the highest code wins.
+//
+// Examples:
+//   rotsv_lint design.sp
+//   rotsv_lint --Werror cells/*.sp
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "spice/parser.hpp"
+#include "util/cli.hpp"
+
+using namespace rotsv;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] netlist.sp...\n"
+      "  --Werror          treat analyzer warnings as errors\n"
+      "  --allow-dangling  accept nodes with a single device terminal\n"
+      "  --quiet           print nothing; communicate via exit status\n",
+      argv0);
+}
+
+struct LintOptions {
+  bool werror = false;
+  bool allow_dangling = false;
+  bool quiet = false;
+};
+
+/// Lints one file and returns its exit class (kExitOk/kExitDiagnostics/
+/// kExitParse/kExitIo).
+int lint_file(const std::string& path, const LintOptions& options) {
+  ParsedNetlist net;
+  try {
+    net = parse_spice_file(path);
+  } catch (const Error& e) {
+    if (!options.quiet) {
+      std::fprintf(stderr, "%s\n", describe_cli_error(path, e).c_str());
+    }
+    return cli_exit_code(e);
+  }
+
+  AnalyzeOptions analyze;
+  analyze.allow_single_terminal = options.allow_dangling;
+  const AnalysisReport report = analyze_netlist(net, analyze);
+  if (!options.quiet && !report.empty()) {
+    std::fputs(report.describe(path).c_str(), stderr);
+  }
+  const bool failed =
+      report.has_errors() || (options.werror && report.warning_count() > 0);
+  return failed ? kExitDiagnostics : kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return kExitOk;
+    } else if (arg == "--Werror") {
+      options.werror = true;
+    } else if (arg == "--allow-dangling") {
+      options.allow_dangling = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return kExitUsage;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage(argv[0]);
+    return kExitUsage;
+  }
+
+  int worst = kExitOk;
+  for (const std::string& path : files) {
+    worst = std::max(worst, lint_file(path, options));
+  }
+  if (!options.quiet && worst == kExitOk && files.size() > 1) {
+    std::printf("%zu files clean\n", files.size());
+  }
+  return worst;
+}
