@@ -55,10 +55,13 @@ int main() {
     spec.threads = threads;
     const CampaignReport report = run_campaign(spec);
     stats.push_back(report.throughput);
-    std::printf("  %zu thread(s): %6.2f dice/s  (%.2fs, %.3g sim-steps/s)\n",
-                threads, report.throughput.dice_per_second(),
-                report.throughput.screening_seconds,
-                report.throughput.steps_per_second());
+    std::printf(
+        "  %zu thread(s): %6.2f dice/s  (%.2fs, %.3g sim-steps/s, %llu early "
+        "exits)\n",
+        threads, report.throughput.dice_per_second(),
+        report.throughput.screening_seconds,
+        report.throughput.steps_per_second(),
+        static_cast<unsigned long long>(report.throughput.early_exits));
     // The executor guarantees thread-count-independent results; cheap check.
     if (reference_report.empty()) {
       reference_report = report.aggregate.describe();
@@ -85,9 +88,10 @@ int main() {
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     json << format(
         "    {\"threads\": %zu, \"seconds\": %.4f, \"dice_per_sec\": %.4f, "
-        "\"steps_per_sec\": %.1f}%s\n",
+        "\"steps_per_sec\": %.1f, \"early_exits\": %llu}%s\n",
         thread_counts[i], stats[i].screening_seconds,
         stats[i].dice_per_second(), stats[i].steps_per_second(),
+        static_cast<unsigned long long>(stats[i].early_exits),
         i + 1 < thread_counts.size() ? "," : "");
   }
   json << "  ],\n";

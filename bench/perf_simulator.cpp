@@ -168,7 +168,9 @@ void BM_TransientInverterChain(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientInverterChain)->Unit(benchmark::kMillisecond);
 
-void BM_RingOscillatorPeriod(benchmark::State& state) {
+void ro_period_bench(benchmark::State& state, bool streaming) {
+  uint64_t steps = 0;
+  uint64_t runs = 0;
   for (auto _ : state) {
     RingOscillatorConfig cfg;
     cfg.num_tsvs = static_cast<int>(state.range(0));
@@ -179,11 +181,60 @@ void BM_RingOscillatorPeriod(benchmark::State& state) {
     opt.measure_cycles = 3;
     opt.first_window = 30e-9;
     opt.max_time = 60e-9;
+    opt.streaming = streaming;
     RoMeasurement m = measure_period(ro, opt);
+    steps += m.stats.steps_accepted;
+    ++runs;
     benchmark::DoNotOptimize(m.period);
   }
+  state.counters["steps_per_run"] =
+      runs > 0 ? static_cast<double>(steps) / static_cast<double>(runs) : 0.0;
 }
-BENCHMARK(BM_RingOscillatorPeriod)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+/// Streaming path (the default): observer-driven early exit, no waveforms.
+void BM_RingOscillatorPeriodStreaming(benchmark::State& state) {
+  ro_period_bench(state, true);
+}
+BENCHMARK(BM_RingOscillatorPeriodStreaming)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recorded two-window path kept for comparison: simulates the full window
+/// and post-processes the tap waveform.
+void BM_RingOscillatorPeriodRecorded(benchmark::State& state) {
+  ro_period_bench(state, false);
+}
+BENCHMARK(BM_RingOscillatorPeriodRecorded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Multi-voltage dT sweep through the reference cache: Arg(1) warm-starts
+/// each run from the previous voltage's final state, Arg(0) runs cold.
+void BM_RoVoltageSweepDeltaT(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  for (auto _ : state) {
+    RingOscillatorConfig cfg;
+    cfg.num_tsvs = 2;
+    RingOscillator ro(cfg);
+    RoRunOptions opt;
+    opt.discard_cycles = 2;
+    opt.measure_cycles = 3;
+    opt.warm_start = warm;
+    RoReferenceCache cache(ro, opt);
+    double dt_sum = 0.0;
+    for (double vdd : {1.1, 0.95, 0.8}) {
+      ro.set_vdd(vdd);
+      dt_sum += cache.measure_delta_t_single(0).delta_t;
+    }
+    benchmark::DoNotOptimize(dt_sum);
+  }
+}
+BENCHMARK(BM_RoVoltageSweepDeltaT)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rotsv

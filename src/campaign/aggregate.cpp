@@ -65,7 +65,9 @@ std::string CampaignAggregate::describe() const {
       "misclassified=%d\n",
       quality.caught, quality.escapes, 100.0 * quality.escape_rate(),
       quality.overkill, 100.0 * quality.overkill_rate(), quality.misclassified);
-  out += format("sim steps: %llu\n", static_cast<unsigned long long>(sim_steps));
+  out += format("sim steps: %llu (early exits: %llu)\n",
+                static_cast<unsigned long long>(sim_steps),
+                static_cast<unsigned long long>(early_exits));
   return out;
 }
 
@@ -79,10 +81,11 @@ double ThroughputStats::steps_per_second() const {
 
 std::string ThroughputStats::describe() const {
   return format(
-      "throughput: %d dice in %.2fs (%.2f dice/s, %.3g sim-steps/s, %zu "
-      "threads; calibration %.2fs)\n",
+      "throughput: %d dice in %.2fs (%.2f dice/s, %.3g sim-steps/s, %llu "
+      "early exits, %zu threads; calibration %.2fs)\n",
       dice_screened, screening_seconds, dice_per_second(), steps_per_second(),
-      threads, calibration_seconds);
+      static_cast<unsigned long long>(early_exits), threads,
+      calibration_seconds);
 }
 
 CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
@@ -112,6 +115,7 @@ CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
             "aggregate: die result outside the campaign grid");
     ++agg.screened_dice;
     agg.sim_steps += die.sim_steps;
+    agg.early_exits += die.early_exits;
     agg.die_bins.add(die.verdict);
     agg.wafer_maps[static_cast<size_t>(die.wafer)]
         .grid[static_cast<size_t>(die.row)][static_cast<size_t>(die.col)] =

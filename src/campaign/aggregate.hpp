@@ -56,7 +56,8 @@ struct CampaignAggregate {
   VerdictBins tsv_bins;    ///< per-TSV verdicts
   ScreenQuality quality;
   std::vector<WaferMap> wafer_maps;
-  uint64_t sim_steps = 0;  ///< total accepted transient steps
+  uint64_t sim_steps = 0;    ///< total accepted transient steps
+  uint64_t early_exits = 0;  ///< transients cut short by the streaming meter
 
   /// Deterministic multi-line report (wafer maps + bins + quality).
   std::string describe() const;
@@ -68,6 +69,7 @@ struct ThroughputStats {
   double screening_seconds = 0.0;
   int dice_screened = 0;        ///< dice screened in *this* run (not resumed)
   uint64_t sim_steps = 0;       ///< steps spent in this run
+  uint64_t early_exits = 0;     ///< streaming-meter early exits in this run
   size_t threads = 0;
   double dice_per_second() const;
   double steps_per_second() const;

@@ -75,6 +75,7 @@ DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
     result.tsv_verdicts += verdict_code(report.verdict);
   }
   result.sim_steps += die_report.sim_steps;
+  result.early_exits += die_report.early_exits;
   result.seconds = seconds_since(start);
   return result;
 }
@@ -163,34 +164,26 @@ CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
 
   const auto screening_start = Clock::now();
   if (!pending.empty()) {
-    const size_t workers = spec_.threads != 0
-                               ? spec_.threads
-                               : std::max<size_t>(1, std::thread::hardware_concurrency());
-    // Small chunks keep the pool load-balanced (die cost varies wildly:
-    // stuck dice bail out after one window, low-VDD dice re-run with long
-    // windows); big enough to amortize queue traffic.
-    const size_t chunk =
-        std::clamp<size_t>(pending.size() / (workers * 8), 1, 16);
-    const size_t num_chunks = (pending.size() + chunk - 1) / chunk;
-
+    // parallel_for's chunked claims replace the hand-rolled chunk loop this
+    // used to carry: workers grab runs of dice off one atomic counter, which
+    // keeps the pool load-balanced (die cost varies wildly: stuck dice bail
+    // out after one stall window, low-VDD dice oscillate slowly) while
+    // amortizing the counter traffic.
     ThreadPool::parallel_for(
-        num_chunks,
-        [&](size_t chunk_index) {
-          const size_t begin = chunk_index * chunk;
-          const size_t end = std::min(begin + chunk, pending.size());
-          for (size_t i = begin; i < end; ++i) {
-            const DieSite& site = pending[i];
-            DieResult result =
-                screen_die(spec_, tester, site.wafer, site.row, site.col);
-            if (store) store->append(result);
-            std::lock_guard<std::mutex> lock(results_mutex);
-            report.throughput.sim_steps += result.sim_steps;
-            ++report.throughput.dice_screened;
-            ++completed_count;
-            report.results.push_back(std::move(result));
-            if (options.progress) {
-              options.progress(report.results.back(), completed_count, total);
-            }
+        pending.size(),
+        [&](size_t i) {
+          const DieSite& site = pending[i];
+          DieResult result =
+              screen_die(spec_, tester, site.wafer, site.row, site.col);
+          if (store) store->append(result);
+          std::lock_guard<std::mutex> lock(results_mutex);
+          report.throughput.sim_steps += result.sim_steps;
+          report.throughput.early_exits += result.early_exits;
+          ++report.throughput.dice_screened;
+          ++completed_count;
+          report.results.push_back(std::move(result));
+          if (options.progress) {
+            options.progress(report.results.back(), completed_count, total);
           }
         },
         spec_.threads);

@@ -48,6 +48,7 @@ JsonRecord die_to_record(const DieResult& r) {
       .set("truth", truth_name(r.truth))
       .set("defective", r.defective)
       .set("steps", r.sim_steps)
+      .set("early", r.early_exits)
       .set("sec", r.seconds);
   return rec;
 }
@@ -66,6 +67,8 @@ DieResult die_from_record(const JsonRecord& rec) {
   r.truth = truth_from_name(rec.get_string("truth"));
   r.defective = rec.get_bool("defective");
   r.sim_steps = rec.get_uint64("steps");
+  // Absent in logs written before the streaming measurement path existed.
+  r.early_exits = rec.has("early") ? rec.get_uint64("early") : 0;
   r.seconds = rec.get_number_or("sec", 0.0);
   return r;
 }

@@ -36,6 +36,7 @@ struct DieResult {
   TsvFaultType truth = TsvFaultType::kNone;  ///< worst ground-truth class
   bool defective = false;    ///< any TSV carries a fault
   uint64_t sim_steps = 0;    ///< accepted transient steps spent on this die
+  uint64_t early_exits = 0;  ///< transients cut short by the streaming meter
   double seconds = 0.0;      ///< wall-clock spent (not part of aggregates)
 };
 

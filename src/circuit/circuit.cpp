@@ -23,6 +23,7 @@ Device& Circuit::add_device(std::unique_ptr<Device> device) {
   branches_ += device->num_branches();
   states_ += device->num_states();
   devices_.push_back(std::move(device));
+  rail_sources_valid_ = false;
   return *devices_.back();
 }
 
@@ -55,6 +56,21 @@ Device* Circuit::find_device(const std::string& name) const {
     if (d->name() == name) return d.get();
   }
   return nullptr;
+}
+
+const std::vector<const VoltageSource*>& Circuit::rail_sources() const {
+  if (!rail_sources_valid_) {
+    rail_sources_.clear();
+    for (const auto& d : devices_) {
+      if (const auto* vs = dynamic_cast<const VoltageSource*>(d.get())) {
+        if (vs->negative().is_ground() && !vs->positive().is_ground()) {
+          rail_sources_.push_back(vs);
+        }
+      }
+    }
+    rail_sources_valid_ = true;
+  }
+  return rail_sources_;
 }
 
 std::vector<Mosfet*> Circuit::mosfets() const {

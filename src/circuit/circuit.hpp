@@ -44,6 +44,14 @@ class Circuit {
   /// All MOSFETs, for Monte-Carlo perturbation.
   std::vector<Mosfet*> mosfets() const;
 
+  /// Ground-referenced voltage sources (negative terminal grounded, positive
+  /// not): the rails whose time-0 value seeds the transient initial state.
+  /// Built on first use and cached -- adding a device invalidates it, so a
+  /// screening campaign pays the device scan once per circuit instead of once
+  /// per transient. Not safe against a concurrent *first* call; every
+  /// parallel driver owns its circuits per-thread.
+  const std::vector<const VoltageSource*>& rail_sources() const;
+
   size_t device_count() const { return devices_.size(); }
   size_t branch_count() const { return branches_; }
   size_t state_count() const { return states_; }
@@ -63,6 +71,8 @@ class Circuit {
   std::vector<std::unique_ptr<Device>> devices_;
   size_t branches_ = 0;
   size_t states_ = 0;
+  mutable std::vector<const VoltageSource*> rail_sources_;
+  mutable bool rail_sources_valid_ = false;
 };
 
 }  // namespace rotsv

@@ -101,12 +101,18 @@ TestReport PreBondTsvTester::test_die_tsv(const TsvFault& fault, Rng& rng) const
   RingOscillator ro(cfg);
   ro.apply_variation(config_.variation, rng);
 
+  // The reference cache memoizes nothing for a single TSV (one T1 + one T2
+  // per voltage either way) but carries the per-pattern warm-start slots
+  // when options.warm_start asks for them across the voltage sweep.
+  RoReferenceCache cache(ro, config_.run);
+
   TestReport report;
   for (size_t vi = 0; vi < config_.voltages.size(); ++vi) {
     const double vdd = config_.voltages[vi];
     ro.set_vdd(vdd);
-    const DeltaTResult d = measure_delta_t(ro, 1, config_.run);
+    const DeltaTResult d = cache.measure_delta_t(1);
     report.sim_steps += d.sim_steps;
+    report.early_exits += d.early_exits;
 
     VoltageReading reading;
     reading.vdd = vdd;
@@ -161,6 +167,7 @@ DieTestReport PreBondTsvTester::test_die(const std::vector<TsvFault>& faults,
           const DeltaTResult d =
               cache.measure_delta_t_single(static_cast<int>(ti));
           reports[ti].sim_steps += d.sim_steps;
+          reports[ti].early_exits += d.early_exits;
 
           VoltageReading reading;
           reading.vdd = vdd;
@@ -189,6 +196,7 @@ DieTestReport PreBondTsvTester::test_die(const std::vector<TsvFault>& faults,
         out = std::move(reports[ti]);
         out.verdict = combine_verdicts(out.readings);
         die.sim_steps += out.sim_steps;
+        die.early_exits += out.early_exits;
       } else {
         out = TestReport{};
         out.verdict = TsvVerdict::kStuck;

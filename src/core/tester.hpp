@@ -56,6 +56,9 @@ struct TestReport {
   /// Accepted transient steps spent across all voltage points (throughput
   /// accounting for campaign-scale runs).
   size_t sim_steps = 0;
+  /// Transients ended early by the streaming period meter (cycle budget hit
+  /// or DC stuck-at confirmed) -- the early-exit win, observable per TSV.
+  uint64_t early_exits = 0;
   std::string describe() const;
 };
 
@@ -67,6 +70,7 @@ struct DieTestReport {
   /// run is counted once, not once per TSV -- the memoized reference is the
   /// point of the per-die API.
   size_t sim_steps = 0;
+  uint64_t early_exits = 0;  ///< early-exited transients for the whole die
 };
 
 class PreBondTsvTester {

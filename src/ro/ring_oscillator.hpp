@@ -36,6 +36,7 @@ class RingOscillator {
 
   /// Per-segment bypass state; true = TSV excluded from the loop.
   void set_bypass(const std::vector<bool>& bypassed);
+  const std::vector<bool>& bypassed() const { return bypassed_; }
   /// Convenience patterns used by the experiments.
   void bypass_all();
   void enable_only(int index);

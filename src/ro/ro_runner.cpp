@@ -1,8 +1,10 @@
 #include "ro/ro_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace rotsv {
 namespace {
@@ -21,6 +23,18 @@ TransientOptions make_transient_options(const RingOscillator& ro,
   return t;
 }
 
+void accumulate(TransientStats* into, const TransientStats& stats) {
+  into->steps_accepted += stats.steps_accepted;
+  into->steps_rejected += stats.steps_rejected;
+  into->newton_iterations += stats.newton_iterations;
+  into->lu_factorizations += stats.lu_factorizations;
+  into->lu_full_factorizations += stats.lu_full_factorizations;
+  into->workspace_allocations += stats.workspace_allocations;
+  into->early_exits += stats.early_exits;
+  into->sim_time += stats.sim_time;
+}
+
+/// Recorded path: simulate a fixed window, post-process the tap waveform.
 RoMeasurement measure_window(RingOscillator& ro, const RoRunOptions& options,
                              double t_stop) {
   TransientOptions topt = make_transient_options(ro, options, t_stop, {ro.probe()});
@@ -41,83 +55,142 @@ RoMeasurement measure_window(RingOscillator& ro, const RoRunOptions& options,
   return out;
 }
 
-}  // namespace
-
-RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options) {
+RoMeasurement measure_recorded(RingOscillator& ro, const RoRunOptions& options) {
   const double first = std::min(options.first_window, options.max_time);
   RoMeasurement m = measure_window(ro, options, first);
   if (m.oscillating || first >= options.max_time) return m;
   RoMeasurement retry = measure_window(ro, options, options.max_time);
   // Account for both windows so throughput stats see the real work done.
-  retry.stats.steps_accepted += m.stats.steps_accepted;
-  retry.stats.steps_rejected += m.stats.steps_rejected;
-  retry.stats.newton_iterations += m.stats.newton_iterations;
-  retry.stats.lu_factorizations += m.stats.lu_factorizations;
-  retry.stats.lu_full_factorizations += m.stats.lu_full_factorizations;
-  retry.stats.workspace_allocations += m.stats.workspace_allocations;
+  accumulate(&retry.stats, m.stats);
   return retry;
+}
+
+/// Streaming path: no waveform recording at all -- an OnlinePeriodMeter on
+/// the step observer stops the run as soon as the measurement is complete or
+/// the tap has settled to a DC level. One window of max_time replaces the
+/// recorded path's first_window/max_time retry pair.
+RoMeasurement measure_streaming(RingOscillator& ro, const RoRunOptions& options,
+                                RoWarmState* warm) {
+  TransientOptions topt = make_transient_options(ro, options, options.max_time, {});
+  topt.record_waveforms = false;
+
+  OnlinePeriodMeter::Options mo;
+  mo.osc.level = ro.vdd() / 2.0;
+  mo.osc.discard_cycles = options.discard_cycles;
+  mo.osc.min_cycles = options.measure_cycles;
+  mo.stall_window = options.stall_window;
+  mo.stall_epsilon = options.stall_epsilon;
+  OnlinePeriodMeter meter(mo);
+  const size_t tap = static_cast<size_t>(ro.probe().value);
+  topt.observer = [&meter, tap](double t, const Vector& v) {
+    return meter.observe(t, v[tap]);
+  };
+
+  const bool warm_started = warm != nullptr && warm->valid && options.warm_start;
+  if (warm_started) {
+    topt.warm_start_voltages = &warm->voltages;
+    topt.dt_initial = std::clamp(warm->h, topt.dt_min, topt.dt_max);
+  }
+
+  TransientResult tr = run_transient(ro.circuit(), topt);
+  const OscillationMeasurement m = meter.result();
+
+  RoMeasurement out;
+  out.oscillating = m.oscillating;
+  out.period = m.period;
+  out.period_stddev = m.period_stddev;
+  out.cycles = m.cycles;
+  out.stalled = meter.stalled();
+  out.stats = tr.stats;
+
+  if (warm != nullptr) {
+    // Refresh the snapshot for the next run of this configuration before the
+    // guard below can throw: the snapshot itself is always a valid state.
+    warm->voltages = std::move(tr.final_voltages);
+    warm->h = tr.final_h;
+    warm->valid = true;
+  }
+
+  if (warm_started && options.warm_start_guard) {
+    RoRunOptions cold_options = options;
+    cold_options.warm_start_guard = false;
+    const RoMeasurement cold = measure_streaming(ro, cold_options, nullptr);
+    const double tol = options.warm_start_guard_tol;
+    const bool period_ok =
+        !out.oscillating ||
+        std::fabs(out.period - cold.period) <= tol * cold.period;
+    if (out.oscillating != cold.oscillating || !period_ok) {
+      throw ConvergenceError(format(
+          "warm-start guard: warm run (osc=%d, T=%s) disagrees with cold run "
+          "(osc=%d, T=%s) beyond %.3g relative",
+          out.oscillating ? 1 : 0, format_time(out.period).c_str(),
+          cold.oscillating ? 1 : 0, format_time(cold.period).c_str(), tol));
+    }
+  }
+  return out;
+}
+
+DeltaTResult subtract(const RoMeasurement& t1, const RoMeasurement& t2,
+                      const char* what) {
+  DeltaTResult result;
+  result.sim_steps = t1.stats.steps_accepted + t2.stats.steps_accepted;
+  result.early_exits = t1.stats.early_exits + t2.stats.early_exits;
+  if (!t2.oscillating) {
+    // The reference run must oscillate; if not, the DfT itself is broken.
+    throw ConvergenceError(
+        format("%s: bypass-all reference run does not oscillate", what));
+  }
+  result.t2 = t2.period;
+  if (!t1.oscillating) {
+    result.stuck = true;
+    return result;
+  }
+  result.valid = true;
+  result.t1 = t1.period;
+  result.delta_t = t1.period - t2.period;
+  return result;
+}
+
+}  // namespace
+
+RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options,
+                             RoWarmState* warm) {
+  if (options.streaming) return measure_streaming(ro, options, warm);
+  return measure_recorded(ro, options);
 }
 
 DeltaTResult measure_delta_t(RingOscillator& ro, int enabled_tsvs,
                              const RoRunOptions& options) {
   require(enabled_tsvs >= 1 && enabled_tsvs <= ro.config().num_tsvs,
           "measure_delta_t: enabled_tsvs out of range");
-  DeltaTResult result;
-
   ro.enable_first(enabled_tsvs);
   const RoMeasurement t1 = measure_period(ro, options);
-
   ro.bypass_all();
   const RoMeasurement t2 = measure_period(ro, options);
-  result.sim_steps = t1.stats.steps_accepted + t2.stats.steps_accepted;
-
-  if (!t2.oscillating) {
-    // The reference run must oscillate; if not, the DfT itself is broken.
-    throw ConvergenceError("measure_delta_t: bypass-all reference run does not oscillate");
-  }
-  result.t2 = t2.period;
-  if (!t1.oscillating) {
-    result.stuck = true;
-    return result;
-  }
-  result.valid = true;
-  result.t1 = t1.period;
-  result.delta_t = t1.period - t2.period;
-  return result;
+  return subtract(t1, t2, "measure_delta_t");
 }
 
 DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
                                     const RoRunOptions& options) {
   require(tsv_index >= 0 && tsv_index < ro.config().num_tsvs,
           "measure_delta_t_single: index out of range");
-  DeltaTResult result;
-
   ro.enable_only(tsv_index);
   const RoMeasurement t1 = measure_period(ro, options);
-
   ro.bypass_all();
   const RoMeasurement t2 = measure_period(ro, options);
-  result.sim_steps = t1.stats.steps_accepted + t2.stats.steps_accepted;
-  if (!t2.oscillating) {
-    throw ConvergenceError(
-        "measure_delta_t_single: bypass-all reference run does not oscillate");
-  }
-  result.t2 = t2.period;
-  if (!t1.oscillating) {
-    result.stuck = true;
-    return result;
-  }
-  result.valid = true;
-  result.t1 = t1.period;
-  result.delta_t = t1.period - t2.period;
-  return result;
+  return subtract(t1, t2, "measure_delta_t_single");
+}
+
+RoWarmState* RoReferenceCache::warm_slot() {
+  if (!options_.streaming || !options_.warm_start) return nullptr;
+  return &warm_states_[ro_.bypassed()];
 }
 
 const RoMeasurement& RoReferenceCache::reference() {
   ro_.bypass_all();
   auto it = references_.find(ro_.vdd());
   if (it == references_.end()) {
-    RoMeasurement m = measure_period(ro_, options_);
+    RoMeasurement m = measure_period(ro_, options_, warm_slot());
     ++reference_runs_;
     if (!m.oscillating) {
       // The reference run must oscillate; if not, the DfT itself is broken.
@@ -131,13 +204,15 @@ const RoMeasurement& RoReferenceCache::reference() {
   return it->second;
 }
 
-DeltaTResult RoReferenceCache::finish(const RoMeasurement& t1, size_t t1_steps) {
+DeltaTResult RoReferenceCache::finish(const RoMeasurement& t1) {
   DeltaTResult result;
-  result.sim_steps = t1_steps;
+  result.sim_steps = t1.stats.steps_accepted;
+  result.early_exits = t1.stats.early_exits;
   const size_t misses_before = reference_runs_;
   const RoMeasurement& t2 = reference();
   if (reference_runs_ != misses_before) {
     result.sim_steps += t2.stats.steps_accepted;
+    result.early_exits += t2.stats.early_exits;
   }
   result.t2 = t2.period;
   if (!t1.oscillating) {
@@ -154,16 +229,16 @@ DeltaTResult RoReferenceCache::measure_delta_t(int enabled_tsvs) {
   require(enabled_tsvs >= 1 && enabled_tsvs <= ro_.config().num_tsvs,
           "measure_delta_t: enabled_tsvs out of range");
   ro_.enable_first(enabled_tsvs);
-  const RoMeasurement t1 = measure_period(ro_, options_);
-  return finish(t1, t1.stats.steps_accepted);
+  const RoMeasurement t1 = measure_period(ro_, options_, warm_slot());
+  return finish(t1);
 }
 
 DeltaTResult RoReferenceCache::measure_delta_t_single(int tsv_index) {
   require(tsv_index >= 0 && tsv_index < ro_.config().num_tsvs,
           "measure_delta_t_single: index out of range");
   ro_.enable_only(tsv_index);
-  const RoMeasurement t1 = measure_period(ro_, options_);
-  return finish(t1, t1.stats.steps_accepted);
+  const RoMeasurement t1 = measure_period(ro_, options_, warm_slot());
+  return finish(t1);
 }
 
 TransientResult capture_waveforms(RingOscillator& ro, double t_stop,

@@ -5,6 +5,12 @@
 //   T1 = period with the TSV(s) under test in the loop
 //   T2 = period with every TSV bypassed
 //   dT = T1 - T2   -- cancels the shared-path delay and most process spread.
+//
+// The default measurement path is *streaming*: an OnlinePeriodMeter rides
+// run_transient's step observer, no waveform is recorded, and the transient
+// stops the moment discard_cycles + measure_cycles full cycles (or a
+// confirmed DC stuck-at level) have been observed -- a ~1-3 ns period ring
+// needs ~6 cycles, not the 60-400 ns window the recorded path simulates.
 #pragma once
 
 #include <map>
@@ -18,14 +24,57 @@ namespace rotsv {
 struct RoRunOptions {
   int discard_cycles = 2;
   int measure_cycles = 4;
-  /// First simulation window [s]; extended to `max_time` once when too few
-  /// cycles were observed (slow oscillation at low VDD / heavy leakage).
+  /// Recorded-path first simulation window [s]; extended to `max_time` once
+  /// when too few cycles were observed (slow oscillation at low VDD / heavy
+  /// leakage). The streaming path runs a single window of `max_time` and
+  /// exits early instead.
   double first_window = 60e-9;
   double max_time = 400e-9;
   Integrator method = Integrator::kTrapezoidal;
   double dt_max = 250e-12;
   double err_target = 0.008;
   double err_reject = 0.05;
+
+  /// Streaming measurement (default): observer-driven early exit, no
+  /// waveform allocation or recording. false restores the recorded
+  /// two-window path (fig04-style waveform benches, debugging).
+  bool streaming = true;
+  /// DC stuck-at detection for the streaming path: stop once the tap node
+  /// moved less than `stall_epsilon` over a full `stall_window` with the
+  /// measurement still incomplete -- a settled autonomous circuit cannot
+  /// restart. Must comfortably exceed the slowest plausible period so a
+  /// slow low-VDD oscillation is never mistaken for DC. 0 disables.
+  double stall_window = 30e-9;
+  double stall_epsilon = 1e-3;
+
+  /// Warm-start policy when the caller supplies an RoWarmState: seed the
+  /// run's initial voltages and step size from the previous run of the same
+  /// DUT configuration (the RoReferenceCache does this across the voltages
+  /// of a multi-VDD plan). Only the streaming path warm-starts.
+  ///
+  /// Off by default -- measured to cost ~one extra period per run here: a
+  /// cold start kicks the ring from the all-low state and gets its first
+  /// rising crossing almost immediately (discard_cycles absorbs the startup
+  /// distortion), while a warm snapshot resumes just past the previous run's
+  /// final rise, so the counter waits a full period for its first edge. See
+  /// DESIGN.md section 7.
+  bool warm_start = false;
+  /// Correctness guard (expensive -- for tests and debugging): every
+  /// warm-started run is re-run cold and the extracted period must agree to
+  /// `warm_start_guard_tol` (relative) with an identical oscillating
+  /// verdict, else ConvergenceError.
+  bool warm_start_guard = false;
+  double warm_start_guard_tol = 1e-3;
+};
+
+/// Snapshot of a finished streaming run, reusable to warm-start the next run
+/// of the *same DUT configuration* (same ring, same bypass pattern) at a
+/// different supply voltage. The rails are re-seeded from the sources on
+/// every run, so a snapshot taken at one VDD is a valid start at another.
+struct RoWarmState {
+  bool valid = false;
+  Vector voltages;  ///< node-indexed final accepted voltages
+  double h = 0.0;   ///< controller step size at exit
 };
 
 struct RoMeasurement {
@@ -33,12 +82,17 @@ struct RoMeasurement {
   double period = 0.0;
   double period_stddev = 0.0;
   int cycles = 0;
+  /// Streaming path only: the run was cut short by DC stuck-at detection.
+  bool stalled = false;
   TransientStats stats;
 };
 
 /// Measures the oscillation period of the ring in its current configuration
-/// (bypass pattern, VDD, variation sample).
-RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options = {});
+/// (bypass pattern, VDD, variation sample). `warm`, when non-null, is both
+/// consumed (seed this run, subject to options.warm_start) and refreshed
+/// (snapshot for the next run of this configuration).
+RoMeasurement measure_period(RingOscillator& ro, const RoRunOptions& options = {},
+                             RoWarmState* warm = nullptr);
 
 struct DeltaTResult {
   bool valid = false;     ///< false when T1 does not oscillate (stuck-at)
@@ -48,6 +102,8 @@ struct DeltaTResult {
   double delta_t = 0.0;   ///< T1 - T2
   /// Accepted transient steps spent on both runs (throughput accounting).
   size_t sim_steps = 0;
+  /// Runs ended early by the streaming meter (cycle budget or DC stall).
+  uint64_t early_exits = 0;
 };
 
 /// Runs the paper's two-run measurement: first with `enabled_tsvs` TSVs of
@@ -71,6 +127,10 @@ DeltaTResult measure_delta_t_single(RingOscillator& ro, int tsv_index,
 /// or fault changes: call invalidate() (or build a fresh cache, which is
 /// what the tester does per die) after apply_variation() or any other
 /// reconfiguration of the DUT.
+///
+/// Across the voltages of a multi-VDD plan the cache also warm-starts every
+/// run from the last run of the same bypass pattern (options.warm_start):
+/// the per-TSV T1 at 0.95 V starts from that TSV's final state at 1.1 V.
 class RoReferenceCache {
  public:
   explicit RoReferenceCache(RingOscillator& ro, const RoRunOptions& options = {})
@@ -83,7 +143,10 @@ class RoReferenceCache {
   DeltaTResult measure_delta_t(int enabled_tsvs);
   DeltaTResult measure_delta_t_single(int tsv_index);
 
-  void invalidate() { references_.clear(); }
+  void invalidate() {
+    references_.clear();
+    warm_states_.clear();
+  }
   /// Reference transients actually run (cache misses).
   size_t reference_runs() const { return reference_runs_; }
 
@@ -92,11 +155,14 @@ class RoReferenceCache {
   /// it on a miss; always leaves the ring bypassed-all. Throws
   /// ConvergenceError when the reference does not oscillate (broken DfT).
   const RoMeasurement& reference();
-  DeltaTResult finish(const RoMeasurement& t1, size_t t1_steps);
+  DeltaTResult finish(const RoMeasurement& t1);
+  /// Warm-start slot for the ring's current bypass pattern.
+  RoWarmState* warm_slot();
 
   RingOscillator& ro_;
   RoRunOptions options_;
   std::map<double, RoMeasurement> references_;  ///< keyed by exact VDD
+  std::map<std::vector<bool>, RoWarmState> warm_states_;
   size_t reference_runs_ = 0;
 };
 

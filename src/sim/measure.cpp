@@ -74,6 +74,92 @@ OscillationMeasurement measure_oscillation(const WaveformSet& waveforms, NodeId 
   return m;
 }
 
+bool OnlinePeriodMeter::observe(double t, double v) {
+  if (samples_ == 0) {
+    v_min_ = v;
+    v_max_ = v;
+    chunk_start_ = t;
+    chunk_min_ = v;
+    chunk_max_ = v;
+  } else {
+    v_min_ = std::min(v_min_, v);
+    v_max_ = std::max(v_max_, v);
+
+    // Rising-edge detection over the (prev, current) pair -- the exact
+    // arithmetic of threshold_crossings(), including the interpolation.
+    const double level = opt_.osc.level;
+    if (v_prev_ < level && v >= level) {
+      const double span = v - v_prev_;
+      const double f = span == 0.0 ? 0.0 : (level - v_prev_) / span;
+      const double tc = t_prev_ + f * (t - t_prev_);
+      if (n_rises_ == opt_.osc.discard_cycles) {
+        // rises[discard] starts the measured tail; the current sample is the
+        // first with t >= t_tail (the crossing lies inside this step).
+        tail_active_ = true;
+      } else if (n_rises_ > opt_.osc.discard_cycles) {
+        const double p = tc - last_rise_;
+        sum_ += p;
+        sum_sq_ += p * p;
+      }
+      last_rise_ = tc;
+      ++n_rises_;
+    }
+    if (tail_active_) {
+      tail_min_ = std::min(tail_min_, v);
+      tail_max_ = std::max(tail_max_, v);
+    }
+  }
+  t_prev_ = t;
+  v_prev_ = v;
+  ++samples_;
+
+  if (opt_.early_exit && measurement_complete()) return false;
+
+  // DC stuck-at detection: chunked trailing window. A live oscillator slews
+  // through any window (and resets the chunk); only a settled node can keep
+  // its total movement under stall_epsilon for a full stall_window.
+  if (opt_.stall_window > 0.0) {
+    chunk_min_ = std::min(chunk_min_, v);
+    chunk_max_ = std::max(chunk_max_, v);
+    if (t - chunk_start_ >= opt_.stall_window) {
+      if (chunk_max_ - chunk_min_ < opt_.stall_epsilon) {
+        stalled_ = true;
+        return false;
+      }
+      chunk_start_ = t;
+      chunk_min_ = v;
+      chunk_max_ = v;
+    }
+  }
+  return true;
+}
+
+bool OnlinePeriodMeter::measurement_complete() const {
+  const int available = n_rises_ - 1 - opt_.osc.discard_cycles;
+  if (available < opt_.osc.min_cycles) return false;
+  const double required_swing = opt_.osc.swing_fraction * 2.0 * opt_.osc.level;
+  return tail_max_ - tail_min_ >= required_swing;
+}
+
+OscillationMeasurement OnlinePeriodMeter::result() const {
+  OscillationMeasurement m;
+  if (samples_ == 0) return m;
+  m.v_min = v_min_;
+  m.v_max = v_max_;
+
+  const int available = n_rises_ - 1 - opt_.osc.discard_cycles;
+  if (available < opt_.osc.min_cycles) return m;  // not oscillating
+  const double required_swing = opt_.osc.swing_fraction * 2.0 * opt_.osc.level;
+  if (tail_max_ - tail_min_ < required_swing) return m;
+
+  m.cycles = available;
+  m.period = sum_ / available;
+  const double var = std::max(sum_sq_ / available - m.period * m.period, 0.0);
+  m.period_stddev = std::sqrt(var);
+  m.oscillating = true;
+  return m;
+}
+
 double propagation_delay(const WaveformSet& waveforms, NodeId in, NodeId out,
                          double level, Edge edge_in, Edge edge_out) {
   const auto& t = waveforms.time();

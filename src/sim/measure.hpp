@@ -40,6 +40,66 @@ struct OscillationMeasurement {
 OscillationMeasurement measure_oscillation(const WaveformSet& waveforms, NodeId node,
                                            const OscillationOptions& options);
 
+/// Streaming, O(1)-memory oscillation-period extractor: feed it the accepted
+/// samples of one node in time order (e.g. from a TransientObserver) and it
+/// mirrors measure_oscillation()'s arithmetic operation-for-operation --
+/// rising-edge interpolation, startup-cycle discard, tail swing check and
+/// running period mean/stddev -- so result() is bit-identical to running
+/// measure_oscillation over the same sample sequence, without a WaveformSet.
+///
+/// Two conditions end a run early (observe() returns false):
+///  * enough cycles: discard_cycles + min_cycles full cycles observed and
+///    the tail swing check already passes -- more samples can only confirm
+///    the measurement;
+///  * a confirmed DC stuck-at level (stall_window > 0): one full window of
+///    samples whose total movement stays below stall_epsilon. An autonomous
+///    circuit resting at an equilibrium cannot restart, so waiting out the
+///    rest of the run is pure waste -- the paper's leakage-killed ring.
+class OnlinePeriodMeter {
+ public:
+  struct Options {
+    OscillationOptions osc;
+    /// Stop as soon as the measurement is complete. Off, the meter consumes
+    /// every sample it is fed (prefix-equivalence tests use this).
+    bool early_exit = true;
+    double stall_window = 0.0;   ///< [s]; 0 disables stuck-at detection
+    double stall_epsilon = 1e-3; ///< [V] max movement that still counts as DC
+  };
+
+  explicit OnlinePeriodMeter(const Options& options) : opt_(options) {}
+
+  /// Feeds one sample (strictly increasing t). Returns false when the run
+  /// can stop (measurement complete or DC level confirmed).
+  bool observe(double t, double v);
+
+  /// The measurement over everything observed so far.
+  OscillationMeasurement result() const;
+
+  bool stalled() const { return stalled_; }
+  int crossings() const { return n_rises_; }
+
+ private:
+  bool measurement_complete() const;
+
+  Options opt_;
+  size_t samples_ = 0;
+  double t_prev_ = 0.0;
+  double v_prev_ = 0.0;
+  double v_min_ = 0.0;
+  double v_max_ = 0.0;
+  int n_rises_ = 0;        ///< rising crossings seen
+  double last_rise_ = 0.0; ///< time of the most recent rising crossing
+  double sum_ = 0.0;       ///< post-discard period sum
+  double sum_sq_ = 0.0;
+  bool tail_active_ = false;  ///< the discard-th crossing has happened
+  double tail_min_ = 1e300;
+  double tail_max_ = -1e300;
+  bool stalled_ = false;
+  double chunk_start_ = 0.0;  ///< stall-detection window origin
+  double chunk_min_ = 0.0;
+  double chunk_max_ = 0.0;
+};
+
 /// Propagation delay from the `edge_in` crossing of `in` to the next
 /// corresponding crossing of `out` (inverting receivers measure kAny).
 /// Returns a negative value when no matching output crossing exists.

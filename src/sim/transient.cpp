@@ -9,17 +9,25 @@
 namespace rotsv {
 namespace {
 
-/// Builds the node-indexed initial-condition vector.
+/// Builds the node-indexed initial-condition vector: warm-start snapshot (if
+/// any), then the cached rail scan, then explicit initial conditions -- each
+/// layer overriding the previous one.
 Vector initial_voltages(const Circuit& circuit, const TransientOptions& options) {
-  Vector v(circuit.nodes().unknown_count() + 1, 0.0);
+  const size_t n = circuit.nodes().unknown_count() + 1;
+  Vector v;
+  if (options.warm_start_voltages != nullptr) {
+    require(options.warm_start_voltages->size() == n,
+            "transient: warm-start vector size does not match the circuit");
+    v = *options.warm_start_voltages;
+    v[0] = 0.0;
+  } else {
+    v.assign(n, 0.0);
+  }
   // Nodes tied to ground-referenced DC sources start at the source value so
-  // rails are correct even when the caller forgets to list them.
-  for (const auto& device : circuit.devices()) {
-    if (const auto* vs = dynamic_cast<const VoltageSource*>(device.get())) {
-      if (vs->negative().is_ground() && !vs->positive().is_ground()) {
-        v[static_cast<size_t>(vs->positive().value)] = vs->waveform().at(0.0);
-      }
-    }
+  // rails are correct even when the caller forgets to list them (or the
+  // warm-start snapshot came from a different VDD).
+  for (const VoltageSource* vs : circuit.rail_sources()) {
+    v[static_cast<size_t>(vs->positive().value)] = vs->waveform().at(0.0);
   }
   for (const auto& [node, volts] : options.initial_conditions) {
     if (!node.is_ground()) v[static_cast<size_t>(node.value)] = volts;
@@ -35,14 +43,16 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   MnaSystem mna(circuit);
   const size_t n_nodes = mna.node_unknowns();
 
-  // Recorded nodes.
-  std::vector<NodeId> record = options.record;
-  if (record.empty()) {
-    for (size_t i = 1; i <= n_nodes; ++i) record.push_back(NodeId{static_cast<int>(i)});
-  }
-
   TransientResult result;
-  result.waveforms = WaveformSet(record);
+  const bool recording = options.record_waveforms;
+  if (recording) {
+    std::vector<NodeId> record = options.record;
+    if (record.empty()) {
+      for (size_t i = 1; i <= n_nodes; ++i)
+        record.push_back(NodeId{static_cast<int>(i)});
+    }
+    result.waveforms = WaveformSet(std::move(record));
+  }
 
   // State vectors: device dynamic state at the previous accepted point and
   // the scratch slot written during the Newton solve of the current step.
@@ -53,7 +63,8 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   Vector v_prev2 = v_prev;                             // accepted before that
   double h_prev = options.dt_initial;
 
-  result.waveforms.append(0.0, v_prev);
+  if (recording) result.waveforms.append(0.0, v_prev);
+  bool stopped = options.observer && !options.observer(0.0, v_prev);
 
   // One workspace for the whole run: every Newton iteration of every step
   // reuses the same Jacobian/RHS/pivot buffers and frozen pivot ordering.
@@ -75,7 +86,7 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   double t = 0.0;
   bool first_step = true;
 
-  while (t < options.t_stop - 1e-18) {
+  while (!stopped && t < options.t_stop - 1e-18) {
     if (result.stats.steps_accepted > options.max_steps) {
       throw ConvergenceError("transient: max_steps exceeded");
     }
@@ -136,7 +147,8 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
     first_step = false;
     std::swap(state_prev, state_now);
     result.stats.steps_accepted++;
-    result.waveforms.append(t, v_prev);
+    if (recording) result.waveforms.append(t, v_prev);
+    if (options.observer && !options.observer(t, v_prev)) stopped = true;
 
     // Error-based step-size controller (order-1 heuristic on the predictor
     // deviation): grow gently when comfortably under target. Growth is based
@@ -152,6 +164,11 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
   result.stats.lu_factorizations = workspace.lu_factorizations();
   result.stats.lu_full_factorizations = workspace.lu_full_factorizations();
   result.stats.workspace_allocations = workspace.allocations;
+  result.stats.early_exits = stopped ? 1 : 0;
+  result.stats.sim_time = t;
+  result.final_voltages = std::move(v_prev);
+  result.final_time = t;
+  result.final_h = h;
   return result;
 }
 

@@ -3,6 +3,7 @@
 // use-initial-conditions startup.
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,13 @@
 #include "sim/waveform.hpp"
 
 namespace rotsv {
+
+/// Step observer: called with (t, node-indexed accepted voltages) for the
+/// t = 0 initial point and after every accepted step, in time order. Return
+/// false to end the run after that step -- no error, everything accepted so
+/// far is kept and TransientStats::early_exits records the stop. Rejected
+/// steps are never observed.
+using TransientObserver = std::function<bool(double t, const Vector& v)>;
 
 struct TransientOptions {
   double t_stop = 0.0;       ///< end time [s]; must be > 0
@@ -33,6 +41,20 @@ struct TransientOptions {
   /// Nodes to record; empty records every node.
   std::vector<NodeId> record;
 
+  /// When false no WaveformSet is populated at all -- the observer is the
+  /// only consumer of the trajectory. This is the RO measurement hot path:
+  /// a streaming period meter needs no sample storage whatsoever.
+  bool record_waveforms = true;
+
+  /// Optional step observer (see TransientObserver above).
+  TransientObserver observer;
+
+  /// Optional warm start: node-indexed voltages used as the starting point
+  /// instead of the flat zero vector (size must be unknown_count() + 1).
+  /// Rail sources and explicit initial_conditions still override, so the
+  /// rails are correct even when the snapshot came from a different VDD.
+  const Vector* warm_start_voltages = nullptr;
+
   /// Abort the run (ConvergenceError) after this many accepted steps;
   /// guards against runaway simulations of non-oscillating circuits.
   size_t max_steps = 4'000'000;
@@ -51,11 +73,22 @@ struct TransientStats {
   uint64_t lu_factorizations = 0;
   uint64_t lu_full_factorizations = 0;
   uint64_t workspace_allocations = 0;
+  /// Early-exit observability: runs ended by the observer (0 or 1 for a
+  /// single transient; drivers that retry sum their stats) and the simulated
+  /// time actually accepted -- against t_stop this is the work the observer
+  /// saved. Both aggregate by addition like the counters above.
+  uint64_t early_exits = 0;
+  double sim_time = 0.0;
 };
 
 struct TransientResult {
-  WaveformSet waveforms;
+  WaveformSet waveforms;  ///< empty when options.record_waveforms is false
   TransientStats stats;
+  /// Final accepted state, exported even when nothing is recorded: the
+  /// warm-start seed for the next run of the same DUT configuration.
+  Vector final_voltages;
+  double final_time = 0.0;
+  double final_h = 0.0;  ///< controller step choice at exit
 };
 
 /// Runs the transient analysis. Throws ConvergenceError when the timestep

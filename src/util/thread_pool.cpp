@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -59,20 +60,27 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn,
-                              size_t threads) {
+                              size_t threads, size_t chunk) {
   if (n == 0) return;
   ThreadPool pool(threads);
+  const size_t workers = pool.size();
+  if (chunk == 0) {
+    // ~8 claims per worker balances counter traffic against the tail of a
+    // lopsided workload; the cap keeps one slow chunk from serializing runs
+    // where iteration cost varies by orders of magnitude.
+    chunk = std::clamp<size_t>(n / (workers * 8), 1, 16);
+  }
   std::mutex error_mutex;
   std::exception_ptr first_error;
   std::atomic<size_t> next{0};
-  const size_t workers = pool.size();
   for (size_t w = 0; w < workers; ++w) {
-    pool.submit([&] {
+    pool.submit([&, chunk] {
       for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= n) return;
+        const size_t begin = next.fetch_add(chunk);
+        if (begin >= n) return;
+        const size_t end = std::min(begin + chunk, n);
         try {
-          fn(i);
+          for (size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();

@@ -30,8 +30,14 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Exceptions thrown by `fn` are captured; the first one is rethrown.
+  ///
+  /// Workers claim `chunk` consecutive indices per fetch_add on the shared
+  /// counter, so per-index synchronization cost amortizes while late-joining
+  /// workers still load-balance. `chunk` = 0 picks a size that targets ~8
+  /// claims per worker (clamped to [1, 16]); pass 1 to force per-index
+  /// claims when iteration costs are wildly uneven.
   static void parallel_for(size_t n, const std::function<void(size_t)>& fn,
-                           size_t threads = 0);
+                           size_t threads = 0, size_t chunk = 0);
 
  private:
   void worker_loop();

@@ -12,6 +12,7 @@
 #include "campaign/campaign.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace rotsv {
 namespace {
@@ -294,6 +295,72 @@ TEST(CampaignRun, ResumeProducesIdenticalAggregateReport) {
   const CampaignReport again = run_campaign(spec, resume_options);
   EXPECT_EQ(again.throughput.dice_screened, 0);
   EXPECT_EQ(again.aggregate.describe(), full.aggregate.describe());
+  std::remove(path.c_str());
+}
+
+// --- golden regression against the pre-streaming seed ------------------------
+//
+// Bands and verdict strings below were captured from the seed build's
+// recorded two-window measurement path (before the streaming meter, early
+// exit and warm start existed). The streaming rewrite changes the measured
+// period values slightly -- the mean is now over exactly measure_cycles
+// instead of every cycle in the window -- but the counter quantization
+// (14-bit, 5 us window) and the +/- 80 ps band must absorb that: every
+// verdict stays bit-identical.
+
+constexpr double kSeedNominalDt11 = 8.451475557626783e-10;   // dT @ 1.1 V
+constexpr double kSeedNominalDt09 = 1.4928125147390841e-09;  // dT @ 0.9 V
+constexpr char kSeedVerdicts[] = "1:P 2:P 4:S 5:S 6:S 7:P 9:S 10:O ";
+
+std::string verdict_string(const CampaignReport& report) {
+  std::string out;
+  for (const DieResult& d : report.results) {
+    out += format("%d:%s ", d.die, d.tsv_verdicts.c_str());
+  }
+  return out;
+}
+
+TEST(CampaignRun, GoldenVerdictsUnchangedFromRecordedSeed) {
+  CampaignSpec spec = small_campaign();
+  spec.lot_id = "golden";
+  spec.preset_bands = {
+      {kSeedNominalDt11 - 80e-12, kSeedNominalDt11 + 80e-12}};
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_EQ(verdict_string(report), kSeedVerdicts);
+  // The streaming meter must actually be cutting transients short.
+  EXPECT_GT(report.aggregate.early_exits, 0u);
+  EXPECT_EQ(report.aggregate.early_exits, report.throughput.early_exits);
+}
+
+TEST(CampaignRun, GoldenVerdictsUnchangedOnMultiVoltagePlan) {
+  // Two voltages with warm start opted in: every 0.9 V run seeds from the
+  // same die's 1.1 V final state, and the verdicts must still match the
+  // cold-start seed capture exactly.
+  CampaignSpec spec = small_campaign();
+  spec.lot_id = "golden-mv";
+  spec.tester.voltages = {1.1, 0.9};
+  spec.tester.run.warm_start = true;
+  spec.preset_bands = {
+      {kSeedNominalDt11 - 80e-12, kSeedNominalDt11 + 80e-12},
+      {kSeedNominalDt09 - 120e-12, kSeedNominalDt09 + 120e-12}};
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_EQ(verdict_string(report), kSeedVerdicts);
+  EXPECT_GT(report.aggregate.early_exits, 0u);
+}
+
+TEST(CampaignRun, EarlyExitsSurviveCheckpointRoundTrip) {
+  CampaignSpec spec = small_campaign();
+  spec.preset_bands = {nominal_band()};
+  const std::string path = ::testing::TempDir() + "rotsv_early_test.jsonl";
+  CampaignRunOptions options;
+  options.result_path = path;
+  const CampaignReport report = run_campaign(spec, options);
+  ASSERT_GT(report.aggregate.early_exits, 0u);
+
+  const ResumeState state = load_resume_state(path, spec);
+  uint64_t replayed = 0;
+  for (const DieResult& d : state.completed) replayed += d.early_exits;
+  EXPECT_EQ(replayed, report.aggregate.early_exits);
   std::remove(path.c_str());
 }
 

@@ -162,5 +162,28 @@ TEST(Waveform, StepConvenience) {
   EXPECT_NEAR(w.at(1.1e-9), 0.5, 1e-9);
 }
 
+TEST(Circuit, RailSourceScanIsCachedAndInvalidatedByAddDevice) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_voltage_source("v1", vdd, kGround, SourceWaveform::dc(1.1));
+  c.add_resistor("r1", vdd, a, 100.0);
+  // A source between two non-ground nodes is not a rail.
+  c.add_voltage_source("vf", a, b, SourceWaveform::dc(0.2));
+
+  const auto& rails = c.rail_sources();
+  ASSERT_EQ(rails.size(), 1u);
+  EXPECT_EQ(rails[0]->positive(), vdd);
+  // Repeat calls return the same cached vector, no rescan.
+  EXPECT_EQ(&c.rail_sources(), &rails);
+
+  // Adding a device invalidates the cache; a new rail shows up.
+  const NodeId ven = c.node("ven");
+  c.add_voltage_source("v2", ven, kGround, SourceWaveform::dc(0.9));
+  ASSERT_EQ(c.rail_sources().size(), 2u);
+  EXPECT_EQ(c.rail_sources()[1]->positive(), ven);
+}
+
 }  // namespace
 }  // namespace rotsv

@@ -231,6 +231,155 @@ TEST(RoReferenceCache, SeparateReferencePerVdd) {
   EXPECT_EQ(high2.t2, high.t2);
 }
 
+// --- streaming measurement path ---------------------------------------------
+
+/// Replays a recorded accepted-step trajectory of the probe node through the
+/// streaming meter (early exit off) and requires results bit-identical to the
+/// batch measure_oscillation over the same samples.
+void expect_online_matches_batch(RingOscillator& ro) {
+  ro.enable_first(1);
+  const RoRunOptions opt = testutil::fast_run();
+  const TransientResult tr =
+      capture_waveforms(ro, opt.first_window, {ro.probe()}, opt);
+  const std::vector<double>& t = tr.waveforms.time();
+  const std::vector<double>& v = tr.waveforms.values(ro.probe());
+
+  OnlinePeriodMeter::Options mo;
+  mo.osc.level = ro.vdd() / 2.0;
+  mo.osc.discard_cycles = opt.discard_cycles;
+  mo.osc.min_cycles = opt.measure_cycles;
+  mo.early_exit = false;
+  OnlinePeriodMeter meter(mo);
+  for (size_t i = 0; i < t.size(); ++i) meter.observe(t[i], v[i]);
+
+  const OscillationMeasurement batch =
+      measure_oscillation(tr.waveforms, ro.probe(), mo.osc);
+  const OscillationMeasurement online = meter.result();
+  EXPECT_EQ(online.oscillating, batch.oscillating);
+  EXPECT_EQ(online.period, batch.period);
+  EXPECT_EQ(online.period_stddev, batch.period_stddev);
+  EXPECT_EQ(online.cycles, batch.cycles);
+  EXPECT_EQ(online.v_min, batch.v_min);
+  EXPECT_EQ(online.v_max, batch.v_max);
+}
+
+TEST(RoRunner, OnlineMeterBitIdenticalToBatchOnRealTrajectories) {
+  RingOscillator nominal(small_ring());
+  expect_online_matches_batch(nominal);
+  // Stuck-at: a leakage-killed ring settles to a DC level.
+  RingOscillator stuck(small_ring(TsvFault::leakage(400.0)));
+  expect_online_matches_batch(stuck);
+  // Slow oscillation at low VDD.
+  RingOscillator slow(small_ring(TsvFault::none(), 0.85));
+  expect_online_matches_batch(slow);
+}
+
+TEST(RoRunner, OnlineMeterEarlyExitMatchesBatchOverSameTrajectoryPrefix) {
+  RingOscillator ro(small_ring());
+  ro.enable_first(1);
+  const RoRunOptions opt = fast_run();
+  const TransientResult tr =
+      capture_waveforms(ro, opt.first_window, {ro.probe()}, opt);
+  const std::vector<double>& t = tr.waveforms.time();
+  const std::vector<double>& v = tr.waveforms.values(ro.probe());
+
+  OnlinePeriodMeter::Options mo;
+  mo.osc.level = ro.vdd() / 2.0;
+  mo.osc.discard_cycles = opt.discard_cycles;
+  mo.osc.min_cycles = opt.measure_cycles;
+  OnlinePeriodMeter meter(mo);
+  WaveformSet prefix({NodeId{1}});
+  std::vector<double> row(2, 0.0);
+  size_t consumed = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    row[1] = v[i];
+    prefix.append(t[i], row);
+    ++consumed;
+    if (!meter.observe(t[i], v[i])) break;
+  }
+  ASSERT_LT(consumed, t.size()) << "meter must stop before the window ends";
+
+  const OscillationMeasurement batch =
+      measure_oscillation(prefix, NodeId{1}, mo.osc);
+  const OscillationMeasurement online = meter.result();
+  ASSERT_TRUE(online.oscillating);
+  EXPECT_EQ(online.period, batch.period);
+  EXPECT_EQ(online.period_stddev, batch.period_stddev);
+  EXPECT_EQ(online.cycles, batch.cycles);
+}
+
+TEST(RoRunner, StreamingAndRecordedPathsAgree) {
+  RoRunOptions recorded = fast_run();
+  recorded.streaming = false;
+  RingOscillator a(small_ring());
+  a.enable_first(1);
+  const RoMeasurement rec = measure_period(a, recorded);
+
+  RingOscillator b(small_ring());
+  b.enable_first(1);
+  const RoMeasurement stream = measure_period(b, fast_run());
+
+  ASSERT_TRUE(rec.oscillating);
+  ASSERT_TRUE(stream.oscillating);
+  EXPECT_NEAR(stream.period, rec.period, 0.02 * rec.period);
+  // The early exit is the perf win: far fewer accepted steps than a full
+  // recorded window, and the run reports it.
+  EXPECT_LT(stream.stats.steps_accepted, rec.stats.steps_accepted / 2);
+  EXPECT_EQ(stream.stats.early_exits, 1u);
+  EXPECT_EQ(rec.stats.early_exits, 0u);
+}
+
+TEST(RoRunner, StreamingStuckRingStallsInsteadOfSimulatingTheFullWindow) {
+  const RoRunOptions opt = testutil::fast_run();
+  RingOscillator leak(small_ring(TsvFault::leakage(400.0)));
+  leak.enable_first(1);
+  const RoMeasurement m = measure_period(leak, opt);
+  EXPECT_FALSE(m.oscillating);
+  EXPECT_TRUE(m.stalled);
+  EXPECT_EQ(m.stats.early_exits, 1u);
+  // The DC level is confirmed after about one stall window, not max_time.
+  EXPECT_LT(m.stats.sim_time, opt.max_time / 2);
+
+  RingOscillator leak2(small_ring(TsvFault::leakage(400.0)));
+  const DeltaTResult d = measure_delta_t(leak2, 1, opt);
+  EXPECT_TRUE(d.stuck);
+  EXPECT_GE(d.early_exits, 1u);
+}
+
+TEST(RoReferenceCache, WarmStartAcrossVoltagesMatchesColdWithinTolerance) {
+  RingOscillator warm_ro(small_ring());
+  RoRunOptions wopt = fast_run();
+  wopt.warm_start = true;  // opt-in: off by default (see RoRunOptions)
+  RoReferenceCache cache(warm_ro, wopt);
+  (void)cache.measure_delta_t_single(0);  // 1.1 V: fills the warm slots
+  warm_ro.set_vdd(0.95);
+  const DeltaTResult warm = cache.measure_delta_t_single(0);
+
+  RingOscillator cold_ro(small_ring());
+  cold_ro.set_vdd(0.95);
+  const DeltaTResult cold = measure_delta_t_single(cold_ro, 0, fast_run());
+
+  ASSERT_TRUE(warm.valid);
+  ASSERT_TRUE(cold.valid);
+  EXPECT_NEAR(warm.t1, cold.t1, 0.01 * cold.t1);
+  EXPECT_NEAR(warm.t2, cold.t2, 0.01 * cold.t2);
+}
+
+TEST(RoRunner, WarmStartGuardPassesOnVoltageSweep) {
+  // The guard re-runs every warm-started measurement cold and throws on
+  // disagreement; a healthy multi-VDD sweep must sail through it.
+  RoRunOptions opt = fast_run();
+  opt.warm_start = true;
+  opt.warm_start_guard = true;
+  RingOscillator ro(small_ring());
+  RoReferenceCache cache(ro, opt);
+  for (double vdd : {1.1, 0.95, 0.85}) {
+    ro.set_vdd(vdd);
+    const DeltaTResult d = cache.measure_delta_t_single(0);
+    EXPECT_TRUE(d.valid) << "vdd=" << vdd;
+  }
+}
+
 TEST(RoRunner, CaptureWaveformsRecordsRequestedNodes) {
   RingOscillator ro(small_ring());
   ro.enable_first(1);

@@ -237,6 +237,116 @@ TEST(Transient, WorkspaceCountersReported) {
   EXPECT_GT(r.stats.steps_accepted, 100u);
 }
 
+// --- step observer ----------------------------------------------------------
+
+TEST(Transient, ObserverSeesInitialPointAndEveryAcceptedStep) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r", a, kGround, 1000.0);
+  c.add_capacitor("cl", a, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 3e-9;
+  t.initial_conditions = {{a, 1.0}};
+  t.record = {a};
+  std::vector<double> obs_t;
+  std::vector<double> obs_v;
+  t.observer = [&](double time, const Vector& v) {
+    obs_t.push_back(time);
+    obs_v.push_back(v[static_cast<size_t>(a.value)]);
+    return true;
+  };
+  const TransientResult r = run_transient(c, t);
+
+  // The observer stream is exactly the recorded waveform: t=0 plus one call
+  // per accepted step, bit-identical values (rejected steps never observed).
+  const std::vector<double>& rec_t = r.waveforms.time();
+  const std::vector<double>& rec_v = r.waveforms.values(a);
+  ASSERT_EQ(obs_t.size(), rec_t.size());
+  ASSERT_EQ(obs_t.size(), r.stats.steps_accepted + 1);
+  EXPECT_EQ(obs_t.front(), 0.0);
+  for (size_t i = 0; i < obs_t.size(); ++i) {
+    EXPECT_EQ(obs_t[i], rec_t[i]);
+    EXPECT_EQ(obs_v[i], rec_v[i]);
+  }
+  EXPECT_EQ(r.stats.early_exits, 0u);
+  EXPECT_DOUBLE_EQ(r.final_time, r.stats.sim_time);
+}
+
+TEST(Transient, ObserverStopsTheRunEarly) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r", a, kGround, 1000.0);
+  c.add_capacitor("cl", a, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 1e-6;  // far longer than the observer will allow
+  t.initial_conditions = {{a, 1.0}};
+  int calls = 0;
+  t.observer = [&](double, const Vector&) { return ++calls < 6; };
+  const TransientResult r = run_transient(c, t);
+  EXPECT_EQ(calls, 6);  // t=0 plus 5 accepted steps, then stop
+  EXPECT_EQ(r.stats.steps_accepted, 5u);
+  EXPECT_EQ(r.stats.early_exits, 1u);
+  EXPECT_LT(r.final_time, t.t_stop / 2);
+}
+
+TEST(Transient, RecordWaveformsOffStillReportsFinalState) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r", a, kGround, 1000.0);
+  c.add_capacitor("cl", a, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 3e-9;  // tau = 1 ns
+  t.initial_conditions = {{a, 1.0}};
+  t.record = {a};
+  t.record_waveforms = false;
+  const TransientResult r = run_transient(c, t);
+  EXPECT_EQ(r.waveforms.samples(), 0u);
+  EXPECT_FALSE(r.waveforms.has(a));
+  EXPECT_GT(r.stats.steps_accepted, 0u);
+  ASSERT_GT(r.final_voltages.size(), static_cast<size_t>(a.value));
+  EXPECT_NEAR(r.final_voltages[static_cast<size_t>(a.value)], std::exp(-3.0),
+              5e-3);
+  EXPECT_GT(r.final_h, 0.0);
+}
+
+TEST(Transient, WarmStartVoltagesSeedTheInitialState) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_resistor("r", a, kGround, 1000.0);
+  c.add_capacitor("cl", a, kGround, 1e-12);
+  TransientOptions t;
+  t.t_stop = 3e-9;
+  Vector warm(c.nodes().unknown_count() + 1, 0.0);
+  warm[static_cast<size_t>(a.value)] = 1.0;
+  t.warm_start_voltages = &warm;
+  const TransientResult r = run_transient(c, t);
+  // Behaves exactly like the equivalent initial condition: discharge from 1 V.
+  EXPECT_NEAR(r.waveforms.values(a).front(), 1.0, 1e-12);
+  EXPECT_NEAR(r.waveforms.sample_at(a, 1e-9), std::exp(-1.0), 2e-3);
+
+  Vector wrong_size(warm.size() + 3, 0.0);
+  t.warm_start_voltages = &wrong_size;
+  EXPECT_THROW(run_transient(c, t), ConfigError);
+}
+
+TEST(Transient, WarmStartRailsReseededFromSources) {
+  // A snapshot taken at another VDD carries a stale rail value; the rail scan
+  // must overwrite it with the source's actual level before the run starts.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId mid = c.node("mid");
+  c.add_voltage_source("v1", vdd, kGround, SourceWaveform::dc(1.1));
+  c.add_resistor("r1", vdd, mid, 1000.0);
+  c.add_resistor("r2", mid, kGround, 1000.0);
+  TransientOptions t;
+  t.t_stop = 1e-10;
+  Vector warm(c.nodes().unknown_count() + 1, 0.0);
+  warm[static_cast<size_t>(vdd.value)] = 0.4;  // stale
+  t.warm_start_voltages = &warm;
+  const TransientResult r = run_transient(c, t);
+  EXPECT_NEAR(r.waveforms.values(vdd).front(), 1.1, 1e-12);
+}
+
 // --- measurements -----------------------------------------------------------
 
 TEST(Measure, ThresholdCrossingsInterpolate) {
@@ -300,6 +410,122 @@ TEST(Measure, SmallSwingRejected) {
   OscillationOptions opt;
   opt.level = 0.55;
   EXPECT_FALSE(measure_oscillation(wf, NodeId{1}, opt).oscillating);
+}
+
+// Feeds the same sample sequence to measure_oscillation and the streaming
+// meter and requires bit-identical results (the meter mirrors the batch
+// arithmetic operation-for-operation).
+void expect_meter_matches_batch(const std::vector<double>& t,
+                                const std::vector<double>& v,
+                                const OscillationOptions& osc) {
+  WaveformSet wf({NodeId{1}});
+  OnlinePeriodMeter::Options mo;
+  mo.osc = osc;
+  mo.early_exit = false;  // consume every sample, like the batch path
+  OnlinePeriodMeter meter(mo);
+  std::vector<double> row(2, 0.0);
+  for (size_t i = 0; i < t.size(); ++i) {
+    row[1] = v[i];
+    wf.append(t[i], row);
+    meter.observe(t[i], v[i]);
+  }
+  const OscillationMeasurement batch = measure_oscillation(wf, NodeId{1}, osc);
+  const OscillationMeasurement online = meter.result();
+  EXPECT_EQ(online.oscillating, batch.oscillating);
+  EXPECT_EQ(online.period, batch.period);
+  EXPECT_EQ(online.period_stddev, batch.period_stddev);
+  EXPECT_EQ(online.cycles, batch.cycles);
+  EXPECT_EQ(online.v_min, batch.v_min);
+  EXPECT_EQ(online.v_max, batch.v_max);
+}
+
+TEST(Measure, OnlineMeterBitIdenticalToBatchOnSyntheticWaves) {
+  OscillationOptions osc;
+  osc.level = 0.55;
+
+  // Square wave (oscillating), flat DC (not), small swing (rejected), and a
+  // jittered sawtooth (uneven periods exercise the stddev accumulation).
+  std::vector<double> t, square, flat, small_swing, jitter;
+  for (double x = 0.0; x < 20e-9; x += 0.05e-9) {
+    t.push_back(x);
+    const double phase = std::fmod(x, 2e-9) / 2e-9;
+    square.push_back(phase < 0.5 ? 0.0 : 1.1);
+    flat.push_back(0.3);
+    small_swing.push_back(0.55 + 0.05 * std::sin(2 * M_PI * x / 2e-9));
+    const double p = 2e-9 + 0.2e-9 * std::sin(x * 1e9);
+    jitter.push_back(0.55 + 0.55 * std::sin(2 * M_PI * x / p));
+  }
+  expect_meter_matches_batch(t, square, osc);
+  expect_meter_matches_batch(t, flat, osc);
+  expect_meter_matches_batch(t, small_swing, osc);
+  expect_meter_matches_batch(t, jitter, osc);
+}
+
+TEST(Measure, OnlineMeterEarlyExitMatchesBatchOverPrefix) {
+  // With early exit on, the meter stops once discard + min cycles are in; the
+  // result must equal the batch measurement over exactly the observed prefix.
+  OnlinePeriodMeter::Options mo;
+  mo.osc.level = 0.55;
+  OnlinePeriodMeter meter(mo);
+  WaveformSet prefix({NodeId{1}});
+  std::vector<double> row(2, 0.0);
+  const double period = 2e-9;
+  bool stopped = false;
+  double t_stopped = 0.0;
+  for (double x = 0.0; x < 40e-9 && !stopped; x += 0.05e-9) {
+    const double phase = std::fmod(x, period) / period;
+    row[1] = phase < 0.5 ? 0.0 : 1.1;
+    prefix.append(x, row);
+    stopped = !meter.observe(x, row[1]);
+    t_stopped = x;
+  }
+  ASSERT_TRUE(stopped) << "meter must early-exit well before the window ends";
+  EXPECT_LT(t_stopped, 15e-9);  // ~6 cycles of 2 ns, not the 40 ns window
+  const OscillationMeasurement batch =
+      measure_oscillation(prefix, NodeId{1}, mo.osc);
+  const OscillationMeasurement online = meter.result();
+  EXPECT_TRUE(online.oscillating);
+  EXPECT_EQ(online.period, batch.period);
+  EXPECT_EQ(online.period_stddev, batch.period_stddev);
+  EXPECT_EQ(online.cycles, batch.cycles);
+}
+
+TEST(Measure, OnlineMeterStallDetectsDcButNotSlowOscillation) {
+  OnlinePeriodMeter::Options mo;
+  mo.osc.level = 0.55;
+  mo.stall_window = 5e-9;
+  mo.stall_epsilon = 1e-3;
+
+  // A settled DC level (tiny numerical wiggle) stalls after about one window.
+  OnlinePeriodMeter dc(mo);
+  bool stopped = false;
+  double t_stopped = 0.0;
+  for (double x = 0.0; x < 100e-9; x += 0.1e-9) {
+    if (!dc.observe(x, 0.3 + 1e-5 * std::sin(x * 1e9))) {
+      stopped = true;
+      t_stopped = x;
+      break;
+    }
+  }
+  ASSERT_TRUE(stopped);
+  EXPECT_TRUE(dc.stalled());
+  EXPECT_FALSE(dc.result().oscillating);
+  EXPECT_LT(t_stopped, 15e-9);
+
+  // A slow oscillation keeps slewing inside every window: it must complete
+  // the measurement, never stall.
+  OnlinePeriodMeter slow(mo);
+  bool slow_done = false;
+  for (double x = 0.0; x < 150e-9; x += 0.1e-9) {
+    if (!slow.observe(x, 0.55 + 0.5 * std::sin(2 * M_PI * x / 10e-9))) {
+      slow_done = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(slow_done);
+  EXPECT_FALSE(slow.stalled());
+  EXPECT_TRUE(slow.result().oscillating);
+  EXPECT_NEAR(slow.result().period, 10e-9, 0.1e-9);
 }
 
 TEST(Measure, PropagationDelayBetweenShiftedWaves) {

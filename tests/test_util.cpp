@@ -189,6 +189,25 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                Error);
 }
 
+TEST(ThreadPool, ParallelForChunkedCoversAllIndicesOnce) {
+  // Explicit chunk size that does not divide n: the tail chunk is short.
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool::parallel_for(1000, [&](size_t i) { hits[i]++; }, 4, 7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkLargerThanRange) {
+  std::vector<std::atomic<int>> hits(5);
+  ThreadPool::parallel_for(5, [&](size_t i) { hits[i]++; }, 3, 64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkedPropagatesException) {
+  EXPECT_THROW(ThreadPool::parallel_for(
+                   100, [&](size_t i) { if (i == 37) throw Error("boom"); }, 2, 8),
+               Error);
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
