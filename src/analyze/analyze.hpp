@@ -52,10 +52,15 @@ AnalysisReport analyze_control(const DftArchitecture& architecture,
 /// guard band, period-meter and transient-window parameters.
 AnalysisReport analyze_tester_config(const TesterConfig& config);
 
-/// Campaign-spec preflight: grid geometry, defect mix, preset bands, the
-/// tester config checks above, and the DfT consistency suite over the
-/// die-level architecture the spec implies (group coverage + the control
-/// states the screening flow will drive).
+/// Campaign-spec preflight: grid geometry, defect mix, preset bands, retry
+/// policy and die budgets, the tester config checks above, and the DfT
+/// consistency suite over the die-level architecture the spec implies (group
+/// coverage + the control states the screening flow will drive).
 AnalysisReport analyze_campaign(const CampaignSpec& spec);
+
+/// Validates a --inject fault-injection specification without applying it:
+/// a malformed spec becomes a kBadInjectSpec error diagnostic instead of a
+/// thrown ConfigError, so lint tooling can report it alongside other findings.
+AnalysisReport analyze_injection_spec(const std::string& text);
 
 }  // namespace rotsv

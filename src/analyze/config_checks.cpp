@@ -8,6 +8,7 @@
 #include <set>
 
 #include "analyze/analyze.hpp"
+#include "campaign/fault_injector.hpp"
 #include "util/strings.hpp"
 
 namespace rotsv {
@@ -134,6 +135,46 @@ AnalysisReport analyze_campaign(const CampaignSpec& spec) {
                       mix.edge_bias));
   }
 
+  // Failure-containment configuration: a bad retry policy or die budget
+  // would otherwise only surface after the first die fails, hours in.
+  if (spec.retry.retries < 0) {
+    report.add(DiagCode::kBadRetryPolicy, DiagSeverity::kError,
+               "retry.retries", 0,
+               format("retry count %d must be >= 0", spec.retry.retries));
+  }
+  if (!finite(spec.retry.ic_perturbation) || spec.retry.ic_perturbation < 0.0) {
+    report.add(DiagCode::kBadRetryPolicy, DiagSeverity::kError,
+               "retry.ic_perturbation", 0,
+               format("IC perturbation %g V must be finite and >= 0",
+                      spec.retry.ic_perturbation));
+  } else if (spec.retry.ic_perturbation >= 1.0) {
+    report.add(DiagCode::kBadRetryPolicy, DiagSeverity::kWarning,
+               "retry.ic_perturbation", 0,
+               format("IC perturbation %g V is rail-scale; escalated retries "
+                      "may start far outside the oscillator's basin",
+                      spec.retry.ic_perturbation));
+  }
+  if (!finite(spec.retry.escalated_gmin) || spec.retry.escalated_gmin < 0.0) {
+    report.add(DiagCode::kBadRetryPolicy, DiagSeverity::kError,
+               "retry.escalated_gmin", 0,
+               format("escalated gmin %g S must be finite and >= 0",
+                      spec.retry.escalated_gmin));
+  }
+  const DieBudget& budget = spec.tester.die_budget;
+  if (!finite(budget.max_seconds) || budget.max_seconds < 0.0) {
+    report.add(DiagCode::kBadDieBudget, DiagSeverity::kError,
+               "die_budget.max_seconds", 0,
+               format("per-die wall-clock budget %g s must be finite and >= 0",
+                      budget.max_seconds));
+  }
+  if (budget.max_steps > 0 && budget.max_steps < 100) {
+    report.add(DiagCode::kBadDieBudget, DiagSeverity::kWarning,
+               "die_budget.max_steps", 0,
+               format("per-die step budget %llu is below any useful transient "
+                      "(every die will quarantine as inconclusive)",
+                      static_cast<unsigned long long>(budget.max_steps)));
+  }
+
   if (!spec.preset_bands.empty()) {
     if (spec.preset_bands.size() != spec.tester.voltages.size()) {
       report.add(DiagCode::kBadPresetBands, DiagSeverity::kError,
@@ -175,6 +216,17 @@ AnalysisReport analyze_campaign(const CampaignSpec& spec) {
         analyze_control(architecture, architecture.control_functional()));
   }
 
+  return report;
+}
+
+AnalysisReport analyze_injection_spec(const std::string& text) {
+  AnalysisReport report;
+  try {
+    InjectionSpec::parse(text);
+  } catch (const ConfigError& e) {
+    report.add(DiagCode::kBadInjectSpec, DiagSeverity::kError, "inject", 0,
+               e.what());
+  }
   return report;
 }
 

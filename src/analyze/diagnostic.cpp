@@ -36,6 +36,9 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::kBadDefectMix: return "bad-defect-mix";
     case DiagCode::kBadPresetBands: return "bad-preset-bands";
     case DiagCode::kBadCampaignGrid: return "bad-campaign-grid";
+    case DiagCode::kBadRetryPolicy: return "bad-retry-policy";
+    case DiagCode::kBadDieBudget: return "bad-die-budget";
+    case DiagCode::kBadInjectSpec: return "bad-inject-spec";
   }
   return "unknown";
 }

@@ -50,6 +50,10 @@ enum class DiagCode {
   kBadDefectMix,      ///< rates outside [0,1] or inverted parameter ranges
   kBadPresetBands,    ///< preset band count/order inconsistent with the plan
   kBadCampaignGrid,   ///< wafer/grid geometry with no dice
+  // -- failure containment ---------------------------------------------------
+  kBadRetryPolicy,    ///< negative retries / non-finite perturbation or gmin
+  kBadDieBudget,      ///< nonsensical per-die step/wall-clock budget
+  kBadInjectSpec,     ///< malformed --inject fault-injection specification
 };
 
 /// Stable machine-readable name of a code, e.g. "floating-node".

@@ -9,6 +9,8 @@ namespace {
 /// True when a verdict names the same fault class as the ground truth
 /// (stuck counts as leakage: it is the strong-leak end of the same defect).
 bool verdict_matches_truth(TsvVerdict v, TsvFaultType t) {
+  // kInconclusive never matches: a quarantined die has no verdict at all
+  // (it is kept out of the caught/escape ledger before this is consulted).
   switch (t) {
     case TsvFaultType::kNone: return v == TsvVerdict::kPass;
     case TsvFaultType::kResistiveOpen: return v == TsvVerdict::kResistiveOpen;
@@ -26,6 +28,7 @@ void VerdictBins::add(TsvVerdict v) {
     case TsvVerdict::kResistiveOpen: ++open; break;
     case TsvVerdict::kLeakage: ++leak; break;
     case TsvVerdict::kStuck: ++stuck; break;
+    case TsvVerdict::kInconclusive: ++inconclusive; break;
   }
 }
 
@@ -54,17 +57,20 @@ std::string CampaignAggregate::describe() const {
   std::string out;
   for (const WaferMap& map : wafer_maps) out += map.render();
   out += format("screened %d/%d dice\n", screened_dice, total_dice);
-  out += format("die bins:  pass=%d open=%d leak=%d stuck=%d\n", die_bins.pass,
-                die_bins.open, die_bins.leak, die_bins.stuck);
-  out += format("tsv bins:  pass=%d open=%d leak=%d stuck=%d\n", tsv_bins.pass,
-                tsv_bins.open, tsv_bins.leak, tsv_bins.stuck);
+  out += format("die bins:  pass=%d open=%d leak=%d stuck=%d quarantined=%d\n",
+                die_bins.pass, die_bins.open, die_bins.leak, die_bins.stuck,
+                die_bins.inconclusive);
+  out += format("tsv bins:  pass=%d open=%d leak=%d stuck=%d quarantined=%d\n",
+                tsv_bins.pass, tsv_bins.open, tsv_bins.leak, tsv_bins.stuck,
+                tsv_bins.inconclusive);
   out += format("truth:     defective=%d clean=%d\n", quality.defective,
                 quality.clean);
   out += format(
       "screen:    caught=%d escapes=%d (%.2f%%) overkill=%d (%.2f%%) "
-      "misclassified=%d\n",
+      "misclassified=%d quarantined=%d\n",
       quality.caught, quality.escapes, 100.0 * quality.escape_rate(),
-      quality.overkill, 100.0 * quality.overkill_rate(), quality.misclassified);
+      quality.overkill, 100.0 * quality.overkill_rate(), quality.misclassified,
+      quality.quarantined);
   out += format("sim steps: %llu (early exits: %llu)\n",
                 static_cast<unsigned long long>(sim_steps),
                 static_cast<unsigned long long>(early_exits));
@@ -127,8 +133,22 @@ CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
         case 'O': agg.tsv_bins.add(TsvVerdict::kResistiveOpen); break;
         case 'L': agg.tsv_bins.add(TsvVerdict::kLeakage); break;
         case 'S': agg.tsv_bins.add(TsvVerdict::kStuck); break;
+        case 'I': agg.tsv_bins.add(TsvVerdict::kInconclusive); break;
         default: throw ConfigError("aggregate: bad per-TSV verdict code");
       }
+    }
+
+    if (die.verdict == TsvVerdict::kInconclusive) {
+      // Quarantined: the screen produced no verdict, so the die is neither
+      // caught, escaped nor overkilled -- it goes to the retest bin. Truth
+      // counters still see it (the lot composition is what it is).
+      ++agg.quality.quarantined;
+      if (die.defective) {
+        ++agg.quality.defective;
+      } else {
+        ++agg.quality.clean;
+      }
+      continue;
     }
 
     const bool flagged = die.verdict != TsvVerdict::kPass;

@@ -22,11 +22,14 @@ struct VerdictBins {
   int open = 0;
   int leak = 0;
   int stuck = 0;
-  int total() const { return pass + open + leak + stuck; }
+  int inconclusive = 0;  ///< quarantined: no verdict within retry/budget
+  int total() const { return pass + open + leak + stuck + inconclusive; }
   void add(TsvVerdict v);
 };
 
-/// Screen quality vs. ground truth.
+/// Screen quality vs. ground truth. Quarantined (kInconclusive) dice are
+/// counted separately and excluded from the caught/escape/overkill ledger:
+/// a die with no verdict neither ships nor scraps -- it goes to retest.
 struct ScreenQuality {
   int defective = 0;      ///< dice that truly carry at least one fault
   int clean = 0;          ///< dice that are truly fault-free
@@ -34,12 +37,14 @@ struct ScreenQuality {
   int escapes = 0;        ///< defective but passed -- ships a bad die
   int overkill = 0;       ///< clean but flagged -- scraps a good die
   int misclassified = 0;  ///< caught, but as the wrong fault class
+  int quarantined = 0;    ///< kInconclusive dice (not in the ledger above)
   double escape_rate() const;    ///< escapes / defective
   double overkill_rate() const;  ///< overkill / clean
 };
 
 /// One wafer's map: a rows x cols character grid.
 ///   '.' unpopulated site   'P' pass   'O' open   'L' leak   'S' stuck
+///   'I' inconclusive (quarantined)
 ///   '?' populated but not yet screened (partial campaign)
 struct WaferMap {
   int wafer = 0;
@@ -70,6 +75,13 @@ struct ThroughputStats {
   int dice_screened = 0;        ///< dice screened in *this* run (not resumed)
   uint64_t sim_steps = 0;       ///< steps spent in this run
   uint64_t early_exits = 0;     ///< streaming-meter early exits in this run
+  /// Result-log append attempts that failed and succeeded on the in-place
+  /// retry (transient I/O error contained without losing the verdict).
+  uint64_t io_retries = 0;
+  /// Appends that failed even after the retry: the verdict survived in
+  /// memory for this run's report, but is not in the log (a resume
+  /// re-screens that die deterministically).
+  uint64_t io_failures = 0;
   size_t threads = 0;
   double dice_per_second() const;
   double steps_per_second() const;

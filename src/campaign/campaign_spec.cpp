@@ -45,6 +45,14 @@ void CampaignSpec::validate() const {
   require(!tester.voltages.empty(), "campaign: tester needs a voltage plan");
   require(preset_bands.empty() || preset_bands.size() == tester.voltages.size(),
           "campaign: preset_bands must match the voltage plan");
+  require(retry.retries >= 0, "campaign: retry.retries >= 0");
+  require(std::isfinite(retry.ic_perturbation) && retry.ic_perturbation >= 0.0,
+          "campaign: retry.ic_perturbation must be finite and >= 0");
+  require(std::isfinite(retry.escalated_gmin) && retry.escalated_gmin >= 0.0,
+          "campaign: retry.escalated_gmin must be finite and >= 0");
+  require(std::isfinite(tester.die_budget.max_seconds) &&
+              tester.die_budget.max_seconds >= 0.0,
+          "campaign: die_budget.max_seconds must be finite and >= 0");
   require(total_dice() >= 1, "campaign: wafer grid has no populated dice");
 }
 
@@ -81,14 +89,20 @@ int CampaignSpec::die_index(int wafer, int row, int col) const {
 std::string CampaignSpec::fingerprint() const {
   std::string volts;
   for (double v : tester.voltages) volts += format("%.6g,", v);
+  // Retry/budget parameters are determinism-relevant: they change which
+  // attempt finally produced the stored verdict, so they gate resume too.
   return format(
       "lot=%s w=%d grid=%dx%d tsvs=%d seed=%llu mix=%.6g/%.6g/%.6g "
-      "open=[%.6g,%.6g]x[%.6g,%.6g] leak=[%.6g,%.6g] n=%d volts=%s cal=%d k=%.6g",
+      "open=[%.6g,%.6g]x[%.6g,%.6g] leak=[%.6g,%.6g] n=%d volts=%s cal=%d k=%.6g "
+      "retry=%d/%.6g/%.6g budget=%llu/%.6g",
       lot_id.c_str(), wafers, rows, cols, tsvs_per_die,
       static_cast<unsigned long long>(seed), mix.open_rate, mix.leak_rate,
       mix.edge_bias, mix.open_r_min, mix.open_r_max, mix.open_x_min,
       mix.open_x_max, mix.leak_r_min, mix.leak_r_max, tester.group_size,
-      volts.c_str(), tester.calibration_samples, tester.guard_band_sigma);
+      volts.c_str(), tester.calibration_samples, tester.guard_band_sigma,
+      retry.retries, retry.ic_perturbation, retry.escalated_gmin,
+      static_cast<unsigned long long>(tester.die_budget.max_steps),
+      tester.die_budget.max_seconds);
 }
 
 bool DieGroundTruth::defective() const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/retry.hpp"
 #include "core/tester.hpp"
 #include "tsv/fault.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,7 @@ struct CampaignSpec {
   int tsvs_per_die = 1;   ///< TSV groups screened per die
   DefectMix mix;
   TesterConfig tester;    ///< voltage plan, group size, calibration depth
+  RetryPolicy retry;      ///< failure-containment escalation ladder
   uint64_t seed = 20130318;  ///< campaign seed (defect draws + die variation)
   size_t threads = 0;     ///< worker threads (0 = hardware concurrency)
   /// Precomputed pass bands (lo, hi) per voltage; when sized to the voltage

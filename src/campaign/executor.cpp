@@ -1,13 +1,16 @@
 #include "campaign/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "analyze/analyze.hpp"
+#include "campaign/retry.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rotsv {
@@ -32,6 +35,7 @@ TsvVerdict worse(TsvVerdict a, TsvVerdict b) {
       case TsvVerdict::kResistiveOpen: return 1;
       case TsvVerdict::kLeakage: return 2;
       case TsvVerdict::kStuck: return 3;
+      case TsvVerdict::kInconclusive: return 4;
     }
     return 0;
   };
@@ -41,13 +45,10 @@ TsvVerdict worse(TsvVerdict a, TsvVerdict b) {
 }  // namespace
 
 DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
-                     int wafer, int row, int col) {
+                     int wafer, int row, int col, FaultInjector* injector) {
   const auto start = Clock::now();
   const DieGroundTruth truth = die_ground_truth(spec, wafer, row, col);
   const int g = spec.die_index(wafer, row, col);
-  // Stream 2g+1: this die's process variation and counter phases (stream 2g
-  // produced its ground truth). Thread count cannot perturb either.
-  Rng rng = Rng::fork(spec.seed, 2 * static_cast<uint64_t>(g) + 1);
 
   DieResult result;
   result.die = g;
@@ -57,25 +58,80 @@ DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
   result.truth = truth.worst_type();
   result.defective = truth.defective();
 
-  // The per-die tester API shares one ring + one memoized bypass-all
-  // reference run per group of TSVs; rings with broken DfT come back as
-  // stuck TSVs rather than exceptions (and the belt-and-braces catch keeps
-  // a production screen scrapping the die instead of aborting the lot).
+  // One step/wall-clock budget for the whole die, shared across every retry
+  // attempt -- escalation cannot buy a die more simulation than the budget.
+  DieBudgetTracker budget(tester.config().die_budget);
+  const bool limited = !tester.config().die_budget.unlimited();
+
   DieTestReport die_report;
-  try {
-    die_report = tester.test_die(truth.faults, rng);
-  } catch (const Error&) {
-    die_report.tsvs.clear();
-    die_report.tsvs.resize(truth.faults.size());
-    for (TestReport& r : die_report.tsvs) r.verdict = TsvVerdict::kStuck;
-    die_report.sim_steps = 0;
+  FailureRecord last_failure;
+  int attempts = 0;
+  for (int attempt = 0; attempt <= spec.retry.retries; ++attempt) {
+    ++attempts;
+    RoRunOptions run = escalate_run(tester.config().run, spec.retry, attempt,
+                                    retry_ic_stream(spec.seed, g, attempt));
+    if (limited) run.budget = &budget;
+    if (injector) {
+      run.transient_hook = [](void* ctx) {
+        static_cast<FaultInjector*>(ctx)->on_transient();
+      };
+      run.transient_hook_ctx = injector;
+    }
+
+    // Stream 2g+1: this die's process variation and counter phases (stream
+    // 2g produced its ground truth). Re-forked from scratch each attempt, so
+    // a die that recovers on rung r draws exactly what a clean run draws --
+    // thread count, retries and resumes cannot perturb its verdict.
+    Rng rng = Rng::fork(spec.seed, 2 * static_cast<uint64_t>(g) + 1);
+    DieTestReport attempt_report;
+    try {
+      attempt_report = tester.test_die(truth.faults, rng, run);
+    } catch (const Error& e) {
+      // test_die contains per-ring failures itself; this catches throws from
+      // outside the ring loop (injected I/O-adjacent faults, budget blowing
+      // on the shared reference run) so one die never aborts the lot.
+      attempt_report.failure.kind = e.kind() == FailureKind::kNone
+                                        ? FailureKind::kDcNoConvergence
+                                        : e.kind();
+      attempt_report.failure.message = e.what();
+    }
+    // Partial work still counts toward throughput accounting, every attempt.
+    result.sim_steps += attempt_report.sim_steps;
+    result.early_exits += attempt_report.early_exits;
+    if (!attempt_report.failed()) {
+      die_report = std::move(attempt_report);
+      break;
+    }
+    last_failure = attempt_report.failure;
+    die_report = std::move(attempt_report);
+    // An exhausted budget fails every further attempt immediately; stop
+    // climbing the ladder and quarantine now.
+    if (limited && budget.exhausted()) break;
   }
-  for (const TestReport& report : die_report.tsvs) {
-    result.verdict = worse(result.verdict, report.verdict);
-    result.tsv_verdicts += verdict_code(report.verdict);
+  if (limited) {
+    // The tracker charged every accepted step, including those of transients
+    // the budget aborted mid-run; the attempt reports only count completed
+    // measurements, so the tracker holds the truthful throughput figure.
+    result.sim_steps = std::max(result.sim_steps, budget.steps());
   }
-  result.sim_steps += die_report.sim_steps;
-  result.early_exits += die_report.early_exits;
+
+  if (die_report.tsvs.empty()) {
+    // The whole attempt threw before any ring reported: quarantine every TSV.
+    result.tsv_verdicts.assign(truth.faults.size(),
+                               verdict_code(TsvVerdict::kInconclusive));
+    result.verdict = TsvVerdict::kInconclusive;
+  } else {
+    for (const TestReport& report : die_report.tsvs) {
+      result.verdict = worse(result.verdict, report.verdict);
+      result.tsv_verdicts += verdict_code(report.verdict);
+    }
+  }
+  result.attempts = attempts;
+  // A recovered die keeps the failure it recovered from (kind + message stay
+  // diagnosable) alongside its real verdict; last_failure is kNone when the
+  // first attempt succeeded.
+  result.failure = last_failure;
+  result.failure.attempts = attempts;
   result.seconds = seconds_since(start);
   return result;
 }
@@ -162,6 +218,13 @@ CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
   std::mutex results_mutex;
   int completed_count = report.resumed_dice;
 
+  std::unique_ptr<FaultInjector> injector;
+  if (!options.inject.empty()) {
+    injector = std::make_unique<FaultInjector>(options.inject);
+  }
+  std::atomic<bool> killed{false};
+  std::atomic<int> appended_dice{0};
+
   const auto screening_start = Clock::now();
   if (!pending.empty()) {
     // parallel_for's chunked claims replace the hand-rolled chunk loop this
@@ -172,18 +235,45 @@ CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
     ThreadPool::parallel_for(
         pending.size(),
         [&](size_t i) {
+          if (killed.load(std::memory_order_relaxed)) return;
           const DieSite& site = pending[i];
-          DieResult result =
-              screen_die(spec_, tester, site.wafer, site.row, site.col);
-          if (store) store->append(result);
-          std::lock_guard<std::mutex> lock(results_mutex);
-          report.throughput.sim_steps += result.sim_steps;
-          report.throughput.early_exits += result.early_exits;
-          ++report.throughput.dice_screened;
-          ++completed_count;
-          report.results.push_back(std::move(result));
-          if (options.progress) {
-            options.progress(report.results.back(), completed_count, total);
+          DieResult result = screen_die(spec_, tester, site.wafer, site.row,
+                                        site.col, injector.get());
+          // I/O containment: a failed append is retried once in place; a
+          // second failure keeps the verdict in memory for this run's report
+          // (a resume re-screens the die deterministically). Either way the
+          // lot keeps moving.
+          bool io_retried = false;
+          bool io_failed = false;
+          if (store) {
+            try {
+              if (injector) injector->on_append();
+              store->append(result);
+            } catch (const Error&) {
+              try {
+                store->append(result);
+                io_retried = true;
+              } catch (const Error&) {
+                io_failed = true;
+              }
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lock(results_mutex);
+            report.throughput.sim_steps += result.sim_steps;
+            report.throughput.early_exits += result.early_exits;
+            report.throughput.io_retries += io_retried ? 1 : 0;
+            report.throughput.io_failures += io_failed ? 1 : 0;
+            ++report.throughput.dice_screened;
+            ++completed_count;
+            report.results.push_back(std::move(result));
+            if (options.progress) {
+              options.progress(report.results.back(), completed_count, total);
+            }
+          }
+          const int n = appended_dice.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (injector && injector->kill_now(n)) {
+            killed.store(true, std::memory_order_relaxed);
           }
         },
         spec_.threads);
@@ -192,6 +282,16 @@ CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
   report.throughput.threads =
       spec_.threads != 0 ? spec_.threads
                          : std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  // Chunk-boundary durability: whatever the fsync cadence left in the page
+  // cache goes to disk before the run reports success.
+  if (store) store->sync();
+
+  if (killed.load()) {
+    throw InjectedKill(format(
+        "fault injection: campaign killed after %d dice (checkpoint at '%s')",
+        options.inject.kill_after_dice, options.result_path.c_str()));
+  }
 
   std::sort(report.results.begin(), report.results.end(),
             [](const DieResult& a, const DieResult& b) { return a.die < b.die; });

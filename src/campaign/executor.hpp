@@ -15,6 +15,7 @@
 
 #include "campaign/aggregate.hpp"
 #include "campaign/campaign_spec.hpp"
+#include "campaign/fault_injector.hpp"
 #include "campaign/result_store.hpp"
 
 namespace rotsv {
@@ -31,6 +32,10 @@ struct CampaignRunOptions {
   /// result log. On by default: one bad die spec must not cost a lot of
   /// simulation. rotsv_campaign exposes --no-preflight as the escape hatch.
   bool preflight = true;
+  /// Chaos-testing fault plan (default empty: no injection, zero overhead).
+  /// A kill trigger makes run() throw InjectedKill after the configured die
+  /// count, leaving a resumable checkpoint behind.
+  InjectionSpec inject;
   /// Optional per-die completion hook (called from worker threads, serialized).
   std::function<void(const DieResult&, int done, int total)> progress;
 };
@@ -62,8 +67,13 @@ CampaignReport run_campaign(const CampaignSpec& spec,
                             const CampaignRunOptions& options = {});
 
 /// Screens a single die (all its TSVs) against a calibrated tester; exposed
-/// for tests and for embedding the per-die flow in other drivers.
+/// for tests and for embedding the per-die flow in other drivers. Runs the
+/// spec's retry ladder: a failed attempt escalates per spec.retry, and a die
+/// that exhausts the ladder (or its step/wall-clock budget) comes back
+/// quarantined as kInconclusive with a FailureRecord -- never a fabricated
+/// verdict. `injector` (optional) is the chaos-test hook.
 DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
-                     int wafer, int row, int col);
+                     int wafer, int row, int col,
+                     FaultInjector* injector = nullptr);
 
 }  // namespace rotsv

@@ -1,0 +1,100 @@
+#include "campaign/fault_injector.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+/// Parses the "N" of "solve@N" as a positive integer, rejecting junk.
+uint64_t parse_trigger(const std::string& token, const std::string& value) {
+  if (value.empty()) {
+    throw ConfigError(
+        format("inject: '%s' needs a positive count after '@'", token.c_str()));
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || v == 0) {
+    throw ConfigError(
+        format("inject: bad trigger '%s' (want a positive integer)",
+               token.c_str()));
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+std::string InjectionSpec::describe() const {
+  std::string out;
+  auto add = [&out](const std::string& part) {
+    if (!out.empty()) out += ',';
+    out += part;
+  };
+  if (fail_solve_at != 0) {
+    add(format("solve@%llu", static_cast<unsigned long long>(fail_solve_at)));
+  }
+  if (fail_io_at != 0) {
+    add(format("io@%llu", static_cast<unsigned long long>(fail_io_at)));
+  }
+  if (kill_after_dice != 0) add(format("kill@%d", kill_after_dice));
+  return out.empty() ? "none" : out;
+}
+
+InjectionSpec InjectionSpec::parse(const std::string& text) {
+  InjectionSpec spec;
+  bool any = false;
+  for (const std::string& raw : split(text, ",")) {
+    const std::string token = trim(raw);
+    if (token.empty()) continue;
+    const size_t at = token.find('@');
+    if (at == std::string::npos) {
+      throw ConfigError(format(
+          "inject: bad token '%s' (want solve@N, io@N or kill@K)",
+          token.c_str()));
+    }
+    const std::string key = token.substr(0, at);
+    const std::string value = token.substr(at + 1);
+    if (key == "solve") {
+      spec.fail_solve_at = parse_trigger(token, value);
+    } else if (key == "io") {
+      spec.fail_io_at = parse_trigger(token, value);
+    } else if (key == "kill") {
+      spec.kill_after_dice = static_cast<int>(parse_trigger(token, value));
+    } else {
+      throw ConfigError(format(
+          "inject: unknown trigger '%s' (want solve@N, io@N or kill@K)",
+          key.c_str()));
+    }
+    any = true;
+  }
+  if (!any) {
+    throw ConfigError("inject: empty specification (want solve@N, io@N or kill@K)");
+  }
+  return spec;
+}
+
+void FaultInjector::on_transient() {
+  if (spec_.fail_solve_at == 0) return;
+  const uint64_t n = transients_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n == spec_.fail_solve_at) {
+    throw ConvergenceError(
+        format("fault injection: transient solve %llu failed on purpose",
+               static_cast<unsigned long long>(n)),
+        FailureKind::kDcNoConvergence);
+  }
+}
+
+void FaultInjector::on_append() {
+  if (spec_.fail_io_at == 0) return;
+  const uint64_t n = appends_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n == spec_.fail_io_at) {
+    throw IoError(
+        format("fault injection: result-log append %llu failed on purpose",
+               static_cast<unsigned long long>(n)));
+  }
+}
+
+}  // namespace rotsv

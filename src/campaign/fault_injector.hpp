@@ -1,0 +1,71 @@
+// Deterministic fault injection for chaos-testing the campaign engine.
+//
+// An InjectionSpec names exact failure points -- "the Nth transient solve
+// throws", "the Mth result-log append fails", "the worker dies after K dice"
+// -- so a chaos test can run the same campaign with and without faults and
+// require bit-identical verdicts for every die that converges within the
+// retry budget. Counters are global across workers (atomic), which keeps the
+// injection deterministic for --threads 1 and merely deterministic-in-count
+// (still exercising the same containment paths) for parallel runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rotsv {
+
+/// Parsed --inject specification. All triggers are 1-based and one-shot:
+/// "solve@3" fails exactly the third transient solve of the run.
+struct InjectionSpec {
+  uint64_t fail_solve_at = 0;  ///< Nth transient solve throws (0 = off)
+  uint64_t fail_io_at = 0;     ///< Nth result-log append throws (0 = off)
+  int kill_after_dice = 0;     ///< abort the run after K appended dice (0 = off)
+
+  bool empty() const {
+    return fail_solve_at == 0 && fail_io_at == 0 && kill_after_dice == 0;
+  }
+  std::string describe() const;
+
+  /// Parses "solve@N,io@N,kill@K" (any non-empty subset, comma-separated).
+  /// Throws ConfigError with the offending token on malformed input.
+  static InjectionSpec parse(const std::string& text);
+};
+
+/// Thrown by the executor when the injection plan kills the run after K
+/// dice -- the in-process stand-in for `kill -9` that lets one test process
+/// exercise the kill/resume path.
+class InjectedKill : public Error {
+ public:
+  explicit InjectedKill(const std::string& what) : Error(what) {}
+};
+
+/// Counts trigger events and throws at the configured points.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const InjectionSpec& spec) : spec_(spec) {}
+
+  /// Called before each transient solve; throws an injected ConvergenceError
+  /// (kDcNoConvergence) on the configured trigger.
+  void on_transient();
+
+  /// Called before each result-log append attempt; throws an injected
+  /// IoError on the configured trigger.
+  void on_append();
+
+  /// True exactly when `appended_dice` reaches the configured kill point.
+  bool kill_now(int appended_dice) const {
+    return spec_.kill_after_dice > 0 && appended_dice == spec_.kill_after_dice;
+  }
+
+  const InjectionSpec& spec() const { return spec_; }
+
+ private:
+  InjectionSpec spec_;
+  std::atomic<uint64_t> transients_{0};
+  std::atomic<uint64_t> appends_{0};
+};
+
+}  // namespace rotsv

@@ -32,6 +32,7 @@ TsvVerdict verdict_from_code(char c) {
     case 'O': return TsvVerdict::kResistiveOpen;
     case 'L': return TsvVerdict::kLeakage;
     case 'S': return TsvVerdict::kStuck;
+    case 'I': return TsvVerdict::kInconclusive;
   }
   throw ConfigError(format("result log: unknown verdict code '%c'", c));
 }
@@ -50,6 +51,14 @@ JsonRecord die_to_record(const DieResult& r) {
       .set("steps", r.sim_steps)
       .set("early", r.early_exits)
       .set("sec", r.seconds);
+  // Containment fields only when they carry information, so clean logs stay
+  // byte-compatible with pre-containment readers.
+  if (r.attempts != 1) rec.set("attempts", r.attempts);
+  if (!r.failure.ok()) {
+    rec.set("fail_kind", failure_kind_name(r.failure.kind))
+        .set("fail_msg", r.failure.message)
+        .set("fail_tsv", r.failure.tsv);
+  }
   return rec;
 }
 
@@ -70,6 +79,13 @@ DieResult die_from_record(const JsonRecord& rec) {
   // Absent in logs written before the streaming measurement path existed.
   r.early_exits = rec.has("early") ? rec.get_uint64("early") : 0;
   r.seconds = rec.get_number_or("sec", 0.0);
+  r.attempts = static_cast<int>(rec.get_number_or("attempts", 1.0));
+  if (rec.has("fail_kind")) {
+    r.failure.kind = failure_kind_from_name(rec.get_string("fail_kind"));
+    r.failure.message = rec.get_string("fail_msg");
+    r.failure.tsv = static_cast<int>(rec.get_number_or("fail_tsv", -1.0));
+    r.failure.attempts = r.attempts;
+  }
   return r;
 }
 
@@ -81,12 +97,13 @@ char verdict_code(TsvVerdict v) {
     case TsvVerdict::kResistiveOpen: return 'O';
     case TsvVerdict::kLeakage: return 'L';
     case TsvVerdict::kStuck: return 'S';
+    case TsvVerdict::kInconclusive: return 'I';
   }
   return '?';
 }
 
 CampaignResultStore::CampaignResultStore(const std::string& path, bool append)
-    : writer_(path, append) {}
+    : writer_(path, append, /*checksums=*/true) {}
 
 std::unique_ptr<CampaignResultStore> CampaignResultStore::create(
     const std::string& path, const CampaignSpec& spec) {
@@ -142,6 +159,16 @@ void CampaignResultStore::write_diagnostics(const AnalysisReport& report) {
 void CampaignResultStore::append(const DieResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
   writer_.write(die_to_record(result));
+  if (++appends_since_sync_ >= kSyncInterval) {
+    writer_.sync();
+    appends_since_sync_ = 0;
+  }
+}
+
+void CampaignResultStore::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer_.sync();
+  appends_since_sync_ = 0;
 }
 
 ResumeState load_resume_state(const std::string& path, const CampaignSpec& spec) {

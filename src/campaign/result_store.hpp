@@ -21,6 +21,7 @@
 #include "analyze/diagnostic.hpp"
 #include "campaign/campaign_spec.hpp"
 #include "stats/classifier.hpp"
+#include "util/failure.hpp"
 #include "util/jsonl.hpp"
 
 namespace rotsv {
@@ -32,12 +33,20 @@ struct DieResult {
   int row = 0;
   int col = 0;
   TsvVerdict verdict = TsvVerdict::kPass;  ///< worst verdict across TSVs
-  std::string tsv_verdicts;  ///< one char per TSV: P / O / L / S
+  std::string tsv_verdicts;  ///< one char per TSV: P / O / L / S / I
   TsvFaultType truth = TsvFaultType::kNone;  ///< worst ground-truth class
   bool defective = false;    ///< any TSV carries a fault
   uint64_t sim_steps = 0;    ///< accepted transient steps spent on this die
   uint64_t early_exits = 0;  ///< transients cut short by the streaming meter
   double seconds = 0.0;      ///< wall-clock spent (not part of aggregates)
+  /// Screening attempts consumed (1 = clean first try; >1 = the retry
+  /// ladder ran). Deterministic for step-budget/solver failures.
+  int attempts = 1;
+  /// Last failure seen while screening. kind == kNone for a clean die; for
+  /// a kInconclusive (quarantined) die this says why, machine-readably. A
+  /// die that recovered on a retry keeps the failure it recovered from,
+  /// with a non-quarantine verdict.
+  FailureRecord failure;
 };
 
 char verdict_code(TsvVerdict v);
@@ -70,16 +79,26 @@ class CampaignResultStore {
   /// diagnostic, so a rejected spec leaves a machine-readable reason trail.
   void write_diagnostics(const AnalysisReport& report);
 
-  /// Appends one die result. Thread-safe; flushed before returning.
+  /// Appends one die result. Thread-safe; flushed before returning, and
+  /// fsynced every kSyncInterval appends (chunk-boundary durability).
   void append(const DieResult& result);
 
+  /// Forces the log to disk (fsync). Called by the executor at the end of a
+  /// run; exposed for callers with their own chunk boundaries.
+  void sync();
+
   const std::string& path() const { return writer_.path(); }
+
+  /// Appends between fsyncs: a crash loses at most this many acknowledged
+  /// dice to the page cache (each is re-screened on resume, deterministic).
+  static constexpr int kSyncInterval = 8;
 
  private:
   CampaignResultStore(const std::string& path, bool append);
 
   std::mutex mutex_;
   JsonlWriter writer_;
+  int appends_since_sync_ = 0;
 };
 
 /// Parses the recoverable state out of a result log without opening it for

@@ -133,6 +133,17 @@ TestReport PreBondTsvTester::test_die_tsv(const TsvFault& fault, Rng& rng) const
 
 DieTestReport PreBondTsvTester::test_die(const std::vector<TsvFault>& faults,
                                          Rng& rng) const {
+  // Standalone calls still get budget enforcement when the config asks for
+  // it: a tracker local to this die covers all of its rings.
+  DieBudgetTracker local_budget(config_.die_budget);
+  RoRunOptions run = config_.run;
+  if (!config_.die_budget.unlimited()) run.budget = &local_budget;
+  return test_die(faults, rng, run);
+}
+
+DieTestReport PreBondTsvTester::test_die(const std::vector<TsvFault>& faults,
+                                         Rng& rng,
+                                         const RoRunOptions& run) const {
   require(calibrated(), "test_die: calibrate() first (or set_band for each voltage)");
   require(!faults.empty(), "test_die: at least one TSV fault entry required");
 
@@ -155,69 +166,91 @@ DieTestReport PreBondTsvTester::test_die(const std::vector<TsvFault>& faults,
 
     // The memoized reference makes the group cost (count + 1) transients per
     // voltage instead of 2 * count: per-TSV T1 runs share one T2 run.
-    RoReferenceCache cache(ro, config_.run);
+    RoReferenceCache cache(ro, run);
 
     std::vector<TestReport> reports(count);
-    bool ring_ok = true;
-    try {
-      for (size_t vi = 0; vi < config_.voltages.size(); ++vi) {
-        const double vdd = config_.voltages[vi];
-        ro.set_vdd(vdd);
-        for (size_t ti = 0; ti < count; ++ti) {
-          const DeltaTResult d =
-              cache.measure_delta_t_single(static_cast<int>(ti));
-          reports[ti].sim_steps += d.sim_steps;
-          reports[ti].early_exits += d.early_exits;
+    FailureRecord ring_failure;
+    if (run.budget != nullptr && run.budget->exhausted()) {
+      // A previous ring already exhausted the die's budget; do not even
+      // start this one.
+      ring_failure.kind = FailureKind::kStepBudget;
+      ring_failure.message = "die budget exhausted before this ring ran";
+      ring_failure.tsv = static_cast<int>(base);
+    } else {
+      try {
+        for (size_t vi = 0; vi < config_.voltages.size(); ++vi) {
+          const double vdd = config_.voltages[vi];
+          ro.set_vdd(vdd);
+          for (size_t ti = 0; ti < count; ++ti) {
+            const DeltaTResult d =
+                cache.measure_delta_t_single(static_cast<int>(ti));
+            reports[ti].sim_steps += d.sim_steps;
+            reports[ti].early_exits += d.early_exits;
 
-          VoltageReading reading;
-          reading.vdd = vdd;
-          if (d.stuck) {
-            reading.stuck = true;
-            reading.verdict = TsvVerdict::kStuck;
-          } else {
-            reading.t1 = quantize_period(d.t1, rng);
-            reading.t2 = quantize_period(d.t2, rng);
-            reading.delta_t = reading.t1 - reading.t2;
-            reading.verdict = classifiers_[vi]->classify(reading.delta_t);
+            VoltageReading reading;
+            reading.vdd = vdd;
+            if (d.stuck) {
+              reading.stuck = true;
+              reading.verdict = TsvVerdict::kStuck;
+            } else {
+              reading.t1 = quantize_period(d.t1, rng);
+              reading.t2 = quantize_period(d.t2, rng);
+              reading.delta_t = reading.t1 - reading.t2;
+              reading.verdict = classifiers_[vi]->classify(reading.delta_t);
+            }
+            reports[ti].readings.push_back(reading);
           }
-          reports[ti].readings.push_back(reading);
         }
+      } catch (const Error& e) {
+        // Containment: the ring's simulation failed (reference does not
+        // oscillate, solver divergence, exhausted budget, injected fault).
+        // Its TSVs get an explicit kInconclusive with the failure recorded
+        // -- never a fabricated kStuck -- and the die keeps going so the
+        // other rings still produce real verdicts. Errors from before the
+        // taxonomy (kind kNone) classify as the generic solver failure; the
+        // message keeps the detail.
+        ring_failure.kind = e.kind() == FailureKind::kNone
+                                ? FailureKind::kDcNoConvergence
+                                : e.kind();
+        ring_failure.message = e.what();
+        ring_failure.tsv = static_cast<int>(base);
       }
-    } catch (const Error&) {
-      // The ring's bypass-all reference run cannot oscillate: its DfT
-      // hardware is broken, so every TSV it carries is scrapped as stuck
-      // rather than aborting the die (or the lot).
-      ring_ok = false;
     }
 
     for (size_t ti = 0; ti < count; ++ti) {
       TestReport& out = die.tsvs[base + ti];
-      if (ring_ok) {
-        out = std::move(reports[ti]);
+      out = std::move(reports[ti]);
+      if (ring_failure.ok()) {
         out.verdict = combine_verdicts(out.readings);
-        die.sim_steps += out.sim_steps;
-        die.early_exits += out.early_exits;
       } else {
-        out = TestReport{};
-        out.verdict = TsvVerdict::kStuck;
+        // Keep the partial readings and step accounting from the work that
+        // did complete before the failure.
+        out.verdict = TsvVerdict::kInconclusive;
+        out.failure = ring_failure;
       }
+      die.sim_steps += out.sim_steps;
+      die.early_exits += out.early_exits;
     }
+    if (!ring_failure.ok() && die.failure.ok()) die.failure = ring_failure;
   }
   return die;
 }
 
 TsvVerdict combine_verdicts(const std::vector<VoltageReading>& readings) {
+  bool any_inconclusive = false;
   bool any_stuck = false;
   bool any_leak = false;
   bool any_open = false;
   for (const VoltageReading& r : readings) {
     switch (r.verdict) {
+      case TsvVerdict::kInconclusive: any_inconclusive = true; break;
       case TsvVerdict::kStuck: any_stuck = true; break;
       case TsvVerdict::kLeakage: any_leak = true; break;
       case TsvVerdict::kResistiveOpen: any_open = true; break;
       case TsvVerdict::kPass: break;
     }
   }
+  if (any_inconclusive) return TsvVerdict::kInconclusive;
   if (any_stuck) return TsvVerdict::kStuck;
   if (any_leak) return TsvVerdict::kLeakage;
   if (any_open) return TsvVerdict::kResistiveOpen;

@@ -21,6 +21,7 @@
 #include "digital/period_meter.hpp"
 #include "mc/monte_carlo.hpp"
 #include "stats/classifier.hpp"
+#include "util/failure.hpp"
 
 namespace rotsv {
 
@@ -34,6 +35,10 @@ struct TesterConfig {
   double guard_band_sigma = 3.5;
   uint64_t seed = 20130318;
   size_t threads = 0;
+  /// Per-die sim-step / wall-clock limits (0 = unlimited). Enforced through
+  /// the transient step observer; an exhausted die stops simulating and is
+  /// quarantined as kInconclusive by the campaign layer.
+  DieBudget die_budget;
   /// On-chip measurement configuration; T1/T2 pass through the counter
   /// quantization of Sec. IV-C before subtraction.
   PeriodMeterConfig meter{.bits = 14, .window = 5e-6,
@@ -59,6 +64,8 @@ struct TestReport {
   /// Transients ended early by the streaming period meter (cycle budget hit
   /// or DC stuck-at confirmed) -- the early-exit win, observable per TSV.
   uint64_t early_exits = 0;
+  /// Why this TSV's verdict is kInconclusive (kind == kNone otherwise).
+  FailureRecord failure;
   std::string describe() const;
 };
 
@@ -68,9 +75,14 @@ struct DieTestReport {
   std::vector<TestReport> tsvs;
   /// Accepted transient steps for the whole die. Each bypass-all reference
   /// run is counted once, not once per TSV -- the memoized reference is the
-  /// point of the per-die API.
+  /// point of the per-die API. Partial work from a failed ring still counts.
   size_t sim_steps = 0;
   uint64_t early_exits = 0;  ///< early-exited transients for the whole die
+  /// First simulator failure hit while screening this die. The affected
+  /// TSVs carry kInconclusive verdicts (never a fabricated kStuck); the
+  /// campaign retry ladder keys its escalation off this record.
+  FailureRecord failure;
+  bool failed() const { return !failure.ok(); }
 };
 
 class PreBondTsvTester {
@@ -96,10 +108,18 @@ class PreBondTsvTester {
   /// group_size; each ring gets one process-variation sample from `rng` and
   /// shares one memoized bypass-all reference run per voltage, so a ring of
   /// N TSVs costs N+1 transients per voltage instead of 2N. A ring whose
-  /// reference run fails marks all of its TSVs stuck (broken DfT hardware)
-  /// without aborting the die. For a single-TSV die this consumes `rng`
-  /// identically to test_die_tsv and returns the same readings.
+  /// simulation fails is contained: its TSVs come back kInconclusive with a
+  /// FailureRecord (partial steps still accounted) instead of aborting the
+  /// die. For a single-TSV die this consumes `rng` identically to
+  /// test_die_tsv and returns the same readings.
   DieTestReport test_die(const std::vector<TsvFault>& faults, Rng& rng) const;
+
+  /// Same, with explicit run options -- the campaign retry ladder passes
+  /// escalated options (perturbed ICs, gmin override, recorded path) and the
+  /// shared per-die budget tracker here. `run.budget`, when set, aborts the
+  /// remaining rings as soon as the budget is exhausted.
+  DieTestReport test_die(const std::vector<TsvFault>& faults, Rng& rng,
+                         const RoRunOptions& run) const;
 
   const DeltaTClassifier& classifier(size_t voltage_index) const;
   const TesterConfig& config() const { return config_; }

@@ -60,7 +60,8 @@ void LuFactorization::factor_full(const Matrix& a, double pivot_tol) {
     if (pivot_mag < pivot_tol) {
       throw ConvergenceError(
           format("LU: singular matrix (pivot %.3g at column %zu of %zu)",
-                 pivot_mag, k, n_));
+                 pivot_mag, k, n_),
+          FailureKind::kSingularLu);
     }
     if (pivot_row != k) {
       for (size_t c = 0; c < n_; ++c) std::swap(lu_.at(k, c), lu_.at(pivot_row, c));

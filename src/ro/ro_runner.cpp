@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace rotsv {
@@ -19,8 +20,23 @@ TransientOptions make_transient_options(const RingOscillator& ro,
   t.err_target = options.err_target;
   t.err_reject = options.err_reject;
   t.record = std::move(record);
+  if (options.newton_gmin > 0.0) t.newton.gmin = options.newton_gmin;
   (void)ro;
   return t;
+}
+
+/// Deterministic initial-condition perturbation for the retry ladder: a
+/// node-indexed voltage vector drawn from options.ic_seed. Handed to the
+/// transient as a warm start, so the rail scan and explicit ICs still
+/// override it -- supplies stay exact, only the free nodes get kicked.
+Vector perturbed_start(RingOscillator& ro, const RoRunOptions& options) {
+  const size_t n = ro.circuit().nodes().unknown_count() + 1;
+  Vector v(n, 0.0);
+  Rng rng = Rng::fork(options.ic_seed, 0);
+  for (size_t i = 1; i < n; ++i) {
+    v[i] = rng.uniform(-options.ic_perturbation, options.ic_perturbation);
+  }
+  return v;
 }
 
 void accumulate(TransientStats* into, const TransientStats& stats) {
@@ -37,7 +53,17 @@ void accumulate(TransientStats* into, const TransientStats& stats) {
 /// Recorded path: simulate a fixed window, post-process the tap waveform.
 RoMeasurement measure_window(RingOscillator& ro, const RoRunOptions& options,
                              double t_stop) {
+  if (options.transient_hook) options.transient_hook(options.transient_hook_ctx);
   TransientOptions topt = make_transient_options(ro, options, t_stop, {ro.probe()});
+  if (options.budget != nullptr) {
+    // The recorded path has no meter observer; install one purely to charge
+    // the die budget (the last-resort retry rung must still honor it).
+    DieBudgetTracker* budget = options.budget;
+    topt.observer = [budget](double, const Vector&) {
+      budget->on_step();
+      return true;
+    };
+  }
   TransientResult tr = run_transient(ro.circuit(), topt);
 
   OscillationOptions oo;
@@ -71,6 +97,7 @@ RoMeasurement measure_recorded(RingOscillator& ro, const RoRunOptions& options) 
 /// recorded path's first_window/max_time retry pair.
 RoMeasurement measure_streaming(RingOscillator& ro, const RoRunOptions& options,
                                 RoWarmState* warm) {
+  if (options.transient_hook) options.transient_hook(options.transient_hook_ctx);
   TransientOptions topt = make_transient_options(ro, options, options.max_time, {});
   topt.record_waveforms = false;
 
@@ -82,14 +109,28 @@ RoMeasurement measure_streaming(RingOscillator& ro, const RoRunOptions& options,
   mo.stall_epsilon = options.stall_epsilon;
   OnlinePeriodMeter meter(mo);
   const size_t tap = static_cast<size_t>(ro.probe().value);
-  topt.observer = [&meter, tap](double t, const Vector& v) {
-    return meter.observe(t, v[tap]);
-  };
+  if (options.budget != nullptr) {
+    DieBudgetTracker* budget = options.budget;
+    topt.observer = [&meter, tap, budget](double t, const Vector& v) {
+      budget->on_step();
+      return meter.observe(t, v[tap]);
+    };
+  } else {
+    // Unbudgeted hot path: no per-step branch beyond the meter itself.
+    topt.observer = [&meter, tap](double t, const Vector& v) {
+      return meter.observe(t, v[tap]);
+    };
+  }
 
   const bool warm_started = warm != nullptr && warm->valid && options.warm_start;
   if (warm_started) {
     topt.warm_start_voltages = &warm->voltages;
     topt.dt_initial = std::clamp(warm->h, topt.dt_min, topt.dt_max);
+  }
+  Vector perturbed;
+  if (options.ic_perturbation > 0.0) {
+    perturbed = perturbed_start(ro, options);
+    topt.warm_start_voltages = &perturbed;  // overrides any warm snapshot
   }
 
   TransientResult tr = run_transient(ro.circuit(), topt);
@@ -138,7 +179,8 @@ DeltaTResult subtract(const RoMeasurement& t1, const RoMeasurement& t2,
   if (!t2.oscillating) {
     // The reference run must oscillate; if not, the DfT itself is broken.
     throw ConvergenceError(
-        format("%s: bypass-all reference run does not oscillate", what));
+        format("%s: bypass-all reference run does not oscillate", what),
+        FailureKind::kDcStall);
   }
   result.t2 = t2.period;
   if (!t1.oscillating) {
@@ -197,7 +239,8 @@ const RoMeasurement& RoReferenceCache::reference() {
       // Deliberately not cached: a later call re-runs and re-throws, which
       // is exactly what the unmemoized functions do.
       throw ConvergenceError(
-          "measure_delta_t: bypass-all reference run does not oscillate");
+          "measure_delta_t: bypass-all reference run does not oscillate",
+          FailureKind::kDcStall);
     }
     it = references_.emplace(ro_.vdd(), std::move(m)).first;
   }

@@ -13,11 +13,13 @@
 // needs ~6 cycles, not the 60-400 ns window the recorded path simulates.
 #pragma once
 
+#include <functional>
 #include <map>
 
 #include "ro/ring_oscillator.hpp"
 #include "sim/measure.hpp"
 #include "sim/transient.hpp"
+#include "util/failure.hpp"
 
 namespace rotsv {
 
@@ -65,6 +67,30 @@ struct RoRunOptions {
   /// verdict, else ConvergenceError.
   bool warm_start_guard = false;
   double warm_start_guard_tol = 1e-3;
+
+  // --- failure containment / retry escalation (campaign layer) -------------
+  /// Per-die work budget shared by every transient of a die test, across all
+  /// retry attempts: accepted steps are charged through the step observer and
+  /// the run aborts with a step-budget / wall-clock-budget ConvergenceError
+  /// once exhausted. Null (the default) costs nothing on the hot path.
+  DieBudgetTracker* budget = nullptr;
+  /// Retry-ladder escalation: perturb the transient's starting node voltages
+  /// by uniform(-ic_perturbation, +ic_perturbation) volts, drawn from the
+  /// deterministic stream `ic_seed` (rails and explicit ICs still override,
+  /// so the supplies stay exact). 0 disables; only the streaming path
+  /// perturbs (the recorded last-resort rung runs cold on purpose).
+  double ic_perturbation = 0.0;
+  uint64_t ic_seed = 0;
+  /// > 0 overrides NewtonOptions::gmin for every solve of the run -- the
+  /// gmin-escalated DC rung of the retry ladder.
+  double newton_gmin = 0.0;
+  /// Chaos hook, called once per transient before it starts; may throw to
+  /// inject a deterministic solver failure (campaign FaultInjector). A plain
+  /// function pointer + context rather than std::function: this struct is
+  /// copied into every tester/campaign config and GCC 12 flags copies of a
+  /// nested std::function with a spurious -Wmaybe-uninitialized under -O2.
+  void (*transient_hook)(void*) = nullptr;
+  void* transient_hook_ctx = nullptr;
 };
 
 /// Snapshot of a finished streaming run, reusable to warm-start the next run

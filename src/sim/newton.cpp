@@ -149,7 +149,9 @@ Vector dc_operating_point(const Circuit& circuit, const DcOptions& options) {
     }
   }
   if (!have_solution)
-    throw ConvergenceError("dc_operating_point: no convergence (plain + gmin stepping)");
+    throw ConvergenceError(
+        "dc_operating_point: no convergence (plain + gmin stepping)",
+        FailureKind::kDcNoConvergence);
 
   // Final polish at the target gmin.
   Vector v_prev = v;
@@ -157,7 +159,8 @@ Vector dc_operating_point(const Circuit& circuit, const DcOptions& options) {
   c.v_prev = &v_prev;
   NewtonOptions final_opts = options.newton;
   if (!newton_solve(circuit, mna, c, &v, final_opts).converged)
-    throw ConvergenceError("dc_operating_point: final polish diverged");
+    throw ConvergenceError("dc_operating_point: final polish diverged",
+                           FailureKind::kDcNoConvergence);
   return v;
 }
 

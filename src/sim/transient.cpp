@@ -88,7 +88,8 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
 
   while (!stopped && t < options.t_stop - 1e-18) {
     if (result.stats.steps_accepted > options.max_steps) {
-      throw ConvergenceError("transient: max_steps exceeded");
+      throw ConvergenceError("transient: max_steps exceeded",
+                             FailureKind::kTransientMaxSteps);
     }
     const double h_step = std::min(h, options.t_stop - t);
     const double t_new = t + h_step;
@@ -131,9 +132,11 @@ TransientResult run_transient(const Circuit& circuit, const TransientOptions& op
       result.stats.steps_rejected++;
       h *= newton.converged ? 0.4 : 0.25;
       if (h < options.dt_min) {
-        throw ConvergenceError(format(
-            "transient: timestep underflow at t=%s (newton %s, err=%.3g)",
-            format_time(t).c_str(), newton.converged ? "ok" : "diverged", err));
+        throw ConvergenceError(
+            format("transient: timestep underflow at t=%s (newton %s, err=%.3g)",
+                   format_time(t).c_str(), newton.converged ? "ok" : "diverged",
+                   err),
+            FailureKind::kDcNoConvergence);
       }
       continue;
     }

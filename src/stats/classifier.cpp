@@ -12,6 +12,7 @@ const char* verdict_name(TsvVerdict verdict) {
     case TsvVerdict::kResistiveOpen: return "resistive-open";
     case TsvVerdict::kLeakage: return "leakage";
     case TsvVerdict::kStuck: return "stuck";
+    case TsvVerdict::kInconclusive: return "inconclusive";
   }
   return "?";
 }

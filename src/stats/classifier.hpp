@@ -15,7 +15,11 @@
 
 namespace rotsv {
 
-enum class TsvVerdict { kPass, kResistiveOpen, kLeakage, kStuck };
+/// kInconclusive is the quarantine bin: the screen could not produce a
+/// verdict within its retry/budget limits (simulator failure, exhausted die
+/// budget). It is never fabricated from a fault model -- a die lands here
+/// only via the campaign containment layer, with a FailureRecord saying why.
+enum class TsvVerdict { kPass, kResistiveOpen, kLeakage, kStuck, kInconclusive };
 
 const char* verdict_name(TsvVerdict verdict);
 

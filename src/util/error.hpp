@@ -7,12 +7,23 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/failure.hpp"
+
 namespace rotsv {
 
-/// Base class of every exception thrown by the library.
+/// Base class of every exception thrown by the library. Carries an optional
+/// FailureKind so containment layers (the campaign retry ladder, the result
+/// log) can classify a failure without parsing its message; throw sites that
+/// predate the taxonomy default to kNone.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, FailureKind kind = FailureKind::kNone)
+      : std::runtime_error(what), kind_(kind) {}
+
+  FailureKind kind() const { return kind_; }
+
+ private:
+  FailureKind kind_;
 };
 
 /// Malformed netlist construction (duplicate names, dangling nodes, ...).
@@ -25,7 +36,17 @@ class NetlistError : public Error {
 /// Newton divergence, step-size underflow, ...).
 class ConvergenceError : public Error {
  public:
-  explicit ConvergenceError(const std::string& what) : Error(what) {}
+  explicit ConvergenceError(const std::string& what,
+                            FailureKind kind = FailureKind::kNone)
+      : Error(what, kind) {}
+};
+
+/// Failed file open/write/sync (result logs, checkpoints). Always carries
+/// FailureKind::kIoError.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what)
+      : Error(what, FailureKind::kIoError) {}
 };
 
 /// Syntax or semantic error while parsing a SPICE-subset netlist file.

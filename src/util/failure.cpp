@@ -1,0 +1,68 @@
+#include "util/failure.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kDcNoConvergence: return "dc-no-convergence";
+    case FailureKind::kTransientMaxSteps: return "transient-max-steps";
+    case FailureKind::kDcStall: return "dc-stall";
+    case FailureKind::kSingularLu: return "singular-lu";
+    case FailureKind::kStepBudget: return "step-budget";
+    case FailureKind::kWallClockBudget: return "wall-clock-budget";
+    case FailureKind::kIoError: return "io-error";
+  }
+  return "?";
+}
+
+FailureKind failure_kind_from_name(const std::string& name) {
+  for (FailureKind kind :
+       {FailureKind::kNone, FailureKind::kDcNoConvergence,
+        FailureKind::kTransientMaxSteps, FailureKind::kDcStall,
+        FailureKind::kSingularLu, FailureKind::kStepBudget,
+        FailureKind::kWallClockBudget, FailureKind::kIoError}) {
+    if (name == failure_kind_name(kind)) return kind;
+  }
+  throw ConfigError(format("unknown failure kind '%s'", name.c_str()));
+}
+
+DieBudgetTracker::DieBudgetTracker(const DieBudget& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+void DieBudgetTracker::on_step() {
+  if (exhausted_) {
+    // A later ring / retry attempt of an already-exhausted die: fail fast
+    // instead of simulating up to the limit again.
+    throw ConvergenceError("die budget already exhausted",
+                           limits_.max_steps != 0 && steps_ >= limits_.max_steps
+                               ? FailureKind::kStepBudget
+                               : FailureKind::kWallClockBudget);
+  }
+  ++steps_;
+  if (limits_.max_steps != 0 && steps_ > limits_.max_steps) {
+    exhausted_ = true;
+    throw ConvergenceError(
+        format("die budget: %llu accepted sim steps exceed the %llu-step cap",
+               static_cast<unsigned long long>(steps_),
+               static_cast<unsigned long long>(limits_.max_steps)),
+        FailureKind::kStepBudget);
+  }
+  if (limits_.max_seconds > 0.0 && steps_ % kClockCheckInterval == 0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed > limits_.max_seconds) {
+      exhausted_ = true;
+      throw ConvergenceError(
+          format("die budget: %.3fs wall clock exceeds the %.3fs cap", elapsed,
+                 limits_.max_seconds),
+          FailureKind::kWallClockBudget);
+    }
+  }
+}
+
+}  // namespace rotsv

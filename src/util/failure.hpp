@@ -1,0 +1,82 @@
+// Structured failure taxonomy for the screening pipeline.
+//
+// Every recoverable failure the simulator can raise -- Newton divergence,
+// transient step explosions, a ring settling to DC, a singular LU pivot,
+// an exhausted per-die budget, a checkpoint I/O error -- maps to one
+// FailureKind. The kind rides on rotsv::Error (util/error.hpp), travels up
+// through ro_runner/tester into a FailureRecord on the die result, and lands
+// in the JSONL log, so a quarantined die always says *why* in a form a
+// retest planner can key on. Names are stable kebab-case strings, same
+// contract as the analyzer's DiagCode names.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rotsv {
+
+enum class FailureKind {
+  kNone,             ///< no failure (FailureRecord default)
+  kDcNoConvergence,  ///< Newton/DC solve diverged (incl. timestep underflow)
+  kTransientMaxSteps,///< transient exceeded its accepted-step cap
+  kDcStall,          ///< reference ring settled to DC (broken DfT / no osc.)
+  kSingularLu,       ///< singular matrix in the LU factorization
+  kStepBudget,       ///< per-die sim-step budget exhausted
+  kWallClockBudget,  ///< per-die wall-clock budget exhausted
+  kIoError,          ///< checkpoint/result-log I/O failure
+};
+
+/// Stable machine-readable name, e.g. "dc-no-convergence".
+const char* failure_kind_name(FailureKind kind);
+
+/// Inverse of failure_kind_name; throws ConfigError on unknown names.
+FailureKind failure_kind_from_name(const std::string& name);
+
+/// Machine-readable account of the last failure seen while screening a die.
+/// kind == kNone means the die screened cleanly on the first attempt.
+struct FailureRecord {
+  FailureKind kind = FailureKind::kNone;
+  std::string message;  ///< originating error text
+  int tsv = -1;         ///< first TSV index affected; -1 = die-level
+  int attempts = 0;     ///< screening attempts consumed when recorded
+  bool ok() const { return kind == FailureKind::kNone; }
+};
+
+/// Per-die work limits. 0 disables a limit; both default off so the
+/// containment layer costs nothing unless a campaign opts in.
+struct DieBudget {
+  uint64_t max_steps = 0;    ///< accepted transient steps across the die
+  double max_seconds = 0.0;  ///< wall-clock across the die (incl. retries)
+  bool unlimited() const { return max_steps == 0 && max_seconds <= 0.0; }
+};
+
+/// Charges accepted transient steps against a DieBudget. One tracker lives
+/// for the whole die -- every transient of every retry attempt shares it, so
+/// a pathological die cannot stall a worker by restarting the clock on each
+/// escalation rung. Throws ConvergenceError (kStepBudget/kWallClockBudget)
+/// from on_step() when a limit is crossed; once exhausted, every further
+/// charge throws immediately so the remaining rings/attempts fail fast.
+///
+/// The wall clock is only sampled every kClockCheckInterval steps: a
+/// steady_clock read per accepted step would be measurable on the hot path.
+class DieBudgetTracker {
+ public:
+  explicit DieBudgetTracker(const DieBudget& limits);
+
+  /// Charge one accepted transient step; throws on budget exhaustion.
+  void on_step();
+
+  bool exhausted() const { return exhausted_; }
+  uint64_t steps() const { return steps_; }
+
+  static constexpr uint64_t kClockCheckInterval = 128;
+
+ private:
+  DieBudget limits_;
+  uint64_t steps_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  bool exhausted_ = false;
+};
+
+}  // namespace rotsv

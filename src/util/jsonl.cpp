@@ -1,13 +1,22 @@
 #include "util/jsonl.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 namespace rotsv {
 
@@ -396,33 +405,137 @@ bool JsonRecord::parse(const std::string& line, JsonRecord* out) {
   return c.eof();
 }
 
-JsonlWriter::JsonlWriter(const std::string& path, bool append) : path_(path) {
-  // A crash can leave the file without a trailing newline (torn write);
-  // appending directly would merge the next record into the torn line and
-  // lose it. Start on a fresh line instead.
-  bool needs_newline = false;
-  if (append) {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (in.is_open() && in.tellg() > 0) {
-      in.seekg(-1, std::ios::end);
-      char last = '\0';
-      in.get(last);
-      needs_newline = last != '\n';
+uint32_t jsonl_crc32(const std::string& data) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
     }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
   }
-  out_.open(path, append ? std::ios::out | std::ios::app : std::ios::out);
-  if (!out_.is_open()) {
-    throw Error(format("jsonl: cannot open '%s' for writing", path.c_str()));
+  return crc ^ 0xffffffffu;
+}
+
+namespace {
+
+constexpr size_t kCrcHexDigits = 8;
+// `,"crc":"` + 8 hex digits + `"}`
+constexpr size_t kCrcSuffixLen = 8 + kCrcHexDigits + 2;
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// Verifies the trailing "crc" field against the rest of the line's bytes.
+/// Lines without the writer's crc suffix pass unchanged (pre-checksum logs).
+bool line_crc_ok(const std::string& line) {
+  if (line.size() < kCrcSuffixLen + 1) return true;
+  const size_t suffix = line.size() - kCrcSuffixLen;
+  if (line.compare(suffix, 8, ",\"crc\":\"") != 0) return true;
+  if (line.compare(line.size() - 2, 2, "\"}") != 0) return true;
+  uint32_t stored = 0;
+  for (size_t i = 0; i < kCrcHexDigits; ++i) {
+    const char c = line[suffix + 8 + i];
+    if (!is_hex(c)) return true;  // not our suffix; treat as unchecksummed
+    stored = (stored << 4) |
+             static_cast<uint32_t>(c <= '9' ? c - '0' : c - 'a' + 10);
   }
-  if (needs_newline) {
-    out_ << '\n';
-    out_.flush();
+  // The checksum covers the record as serialized without the crc field.
+  std::string body = line.substr(0, suffix);
+  body += '}';
+  return jsonl_crc32(body) == stored;
+}
+
+/// Drops a torn trailing line (crash mid-write) so appends start at a record
+/// boundary. A file with no newline at all is torn from byte 0.
+void truncate_torn_tail(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;  // nothing to repair
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return;
+  }
+  long keep = 0;
+  bool found = false;
+  long pos = size;
+  std::vector<char> buf(4096);
+  while (pos > 0 && !found) {
+    const long chunk = std::min<long>(static_cast<long>(buf.size()), pos);
+    std::fseek(f, pos - chunk, SEEK_SET);
+    const size_t got = std::fread(buf.data(), 1, static_cast<size_t>(chunk), f);
+    for (long i = static_cast<long>(got) - 1; i >= 0; --i) {
+      if (buf[static_cast<size_t>(i)] == '\n') {
+        keep = pos - chunk + i + 1;
+        found = true;
+        break;
+      }
+    }
+    pos -= chunk;
+  }
+  std::fclose(f);
+  if (size > keep) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, static_cast<uintmax_t>(keep), ec);
+    if (ec) {
+      throw IoError(format("jsonl: cannot truncate torn tail of '%s': %s",
+                           path.c_str(), ec.message().c_str()));
+    }
   }
 }
 
+}  // namespace
+
+JsonlWriter::JsonlWriter(const std::string& path, bool append, bool checksums)
+    : path_(path), checksums_(checksums) {
+  // A crash can leave a torn trailing line (no final newline). Truncate it
+  // back to the last complete record -- readers already ignore it, and
+  // removing it keeps the file a clean sequence of records for any other
+  // consumer (and for the checksummed round-trip tests).
+  if (append) truncate_torn_tail(path);
+  out_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (out_ == nullptr) {
+    throw IoError(format("jsonl: cannot open '%s' for writing", path.c_str()));
+  }
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
 void JsonlWriter::write(const JsonRecord& record) {
-  out_ << record.to_json() << '\n';
-  out_.flush();
+  std::string line = record.to_json();
+  if (checksums_) {
+    const uint32_t crc = jsonl_crc32(line);
+    line.pop_back();  // drop '}' to append the crc as the final field
+    line += line.size() > 1 ? ",\"crc\":\"" : "\"crc\":\"";
+    line += format("%08x\"}", crc);
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+      std::fflush(out_) != 0) {
+    throw IoError(format("jsonl: write to '%s' failed", path_.c_str()));
+  }
+}
+
+void JsonlWriter::sync() {
+  if (std::fflush(out_) != 0) {
+    throw IoError(format("jsonl: flush of '%s' failed", path_.c_str()));
+  }
+#if !defined(_WIN32)
+  if (::fsync(fileno(out_)) != 0) {
+    throw IoError(format("jsonl: fsync of '%s' failed", path_.c_str()));
+  }
+#endif
 }
 
 JsonlReadResult read_jsonl(const std::string& path) {
@@ -433,7 +546,7 @@ JsonlReadResult read_jsonl(const std::string& path) {
   while (std::getline(in, line)) {
     if (trim(line).empty()) continue;
     JsonRecord record;
-    if (JsonRecord::parse(line, &record)) {
+    if (JsonRecord::parse(line, &record) && line_crc_ok(line)) {
       result.records.push_back(std::move(record));
     } else {
       ++result.skipped_lines;

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -76,24 +76,50 @@ class JsonRecord {
   std::map<std::string, size_t> index_;
 };
 
+/// CRC-32 (IEEE 802.3, reflected) of a byte string. Used for the per-line
+/// checksums below; exposed for tests and external validators.
+uint32_t jsonl_crc32(const std::string& data);
+
 /// Append-mode JSONL writer; one record per line, flushed per record.
+///
+/// Durability contract (the campaign checkpoint relies on all three):
+///  - opening in append mode TRUNCATES a torn trailing line (a crash mid-
+///    write) back to the last complete record, so the file never carries
+///    junk bytes that a concurrent reader would have to guess about;
+///  - with `checksums` on, every line gets a trailing "crc" field -- the
+///    CRC-32 of the record serialized without it -- so bit rot that still
+///    parses as JSON is caught on read instead of corrupting a resume;
+///  - sync() forces the line buffer AND the OS page cache to disk (fsync),
+///    for chunk boundaries where a checkpoint must survive power loss.
 class JsonlWriter {
  public:
   /// Opens `path`; truncates when `append` is false.
-  /// Throws rotsv::Error if the file cannot be opened.
-  JsonlWriter(const std::string& path, bool append);
+  /// Throws rotsv::IoError if the file cannot be opened.
+  JsonlWriter(const std::string& path, bool append, bool checksums = false);
+  ~JsonlWriter();
 
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Writes one record (plus "crc" when enabled), flushed to the OS before
+  /// returning. Throws IoError when the write fails.
   void write(const JsonRecord& record);
+
+  /// fflush + fsync. Throws IoError on failure.
+  void sync();
 
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
-  std::ofstream out_;
+  std::FILE* out_ = nullptr;
+  bool checksums_ = false;
 };
 
 /// Reads every parseable record of a JSONL file. Unparseable lines (e.g. a
-/// partial final line after a crash) are skipped and counted.
+/// partial final line after a crash) and lines whose "crc" field does not
+/// match their content are skipped and counted. Records without a "crc"
+/// field are accepted as-is (logs from before checksums existed).
 struct JsonlReadResult {
   std::vector<JsonRecord> records;
   size_t skipped_lines = 0;

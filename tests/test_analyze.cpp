@@ -255,6 +255,38 @@ TEST(AnalyzeCampaign, BadGridMixAndBands) {
   EXPECT_TRUE(report.has(DiagCode::kBadPresetBands));
 }
 
+TEST(AnalyzeCampaign, BadRetryPolicyAndDieBudget) {
+  CampaignSpec spec;
+  spec.retry.retries = -1;
+  spec.retry.ic_perturbation = -0.1;
+  spec.retry.escalated_gmin = -1e-9;
+  spec.tester.die_budget.max_seconds = -2.0;
+  const AnalysisReport report = analyze_campaign(spec);
+  EXPECT_TRUE(report.has(DiagCode::kBadRetryPolicy)) << report.describe();
+  EXPECT_TRUE(report.has(DiagCode::kBadDieBudget)) << report.describe();
+  EXPECT_GE(report.error_count(), 4u);
+}
+
+TEST(AnalyzeCampaign, ContainmentWarningsForExtremeButLegalValues) {
+  CampaignSpec spec;
+  spec.retry.ic_perturbation = 1.5;     // rail-scale kick
+  spec.tester.die_budget.max_steps = 7; // below any useful transient
+  const AnalysisReport report = analyze_campaign(spec);
+  EXPECT_FALSE(report.has_errors()) << report.describe();
+  EXPECT_TRUE(report.has(DiagCode::kBadRetryPolicy));
+  EXPECT_TRUE(report.has(DiagCode::kBadDieBudget));
+  EXPECT_EQ(report.warning_count(), 2u);
+}
+
+TEST(AnalyzeInjectionSpec, AcceptsGoodAndFlagsMalformed) {
+  EXPECT_TRUE(analyze_injection_spec("solve@3,io@1,kill@2").empty());
+  const AnalysisReport bad = analyze_injection_spec("solve@0");
+  EXPECT_TRUE(bad.has(DiagCode::kBadInjectSpec));
+  EXPECT_TRUE(analyze_injection_spec("frobnicate@2")
+                  .has(DiagCode::kBadInjectSpec));
+  EXPECT_TRUE(analyze_injection_spec("").has(DiagCode::kBadInjectSpec));
+}
+
 TEST(AnalysisReport, PreflightThrowsOnlyOnErrors) {
   AnalysisReport warnings_only;
   warnings_only.add(DiagCode::kTranStepTooLarge, DiagSeverity::kWarning,

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
 
 #include "util/ascii_chart.hpp"
@@ -403,7 +405,7 @@ TEST(Jsonl, WriterAppendsAndReaderSkipsPartialTail) {
     std::fputs("{\"i\":2,\"trunc", f);
     std::fclose(f);
   }
-  {  // appending after a torn write must start on a fresh line
+  {  // appending after a torn write truncates the torn tail entirely
     JsonlWriter writer(path, /*append=*/true);
     JsonRecord c;
     writer.write(c.set("i", 3));
@@ -413,11 +415,68 @@ TEST(Jsonl, WriterAppendsAndReaderSkipsPartialTail) {
   EXPECT_EQ(read.records[0].get_number("i"), 0.0);
   EXPECT_EQ(read.records[1].get_number("i"), 1.0);
   EXPECT_EQ(read.records[2].get_number("i"), 3.0);
-  EXPECT_EQ(read.skipped_lines, 1u);
+  EXPECT_EQ(read.skipped_lines, 0u);  // the torn line is gone, not skipped
   std::remove(path.c_str());
 
   EXPECT_TRUE(read_jsonl("/nonexistent_dir_xyz/nope.jsonl").records.empty());
   EXPECT_THROW(JsonlWriter("/nonexistent_dir_xyz/nope.jsonl", false), Error);
+}
+
+TEST(Jsonl, Crc32KnownAnswer) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(jsonl_crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(jsonl_crc32(""), 0u);
+}
+
+TEST(Jsonl, ChecksummedLinesRoundTripAndFlagBitrot) {
+  const std::string path = ::testing::TempDir() + "rotsv_jsonl_crc.jsonl";
+  {
+    JsonlWriter writer(path, /*append=*/false, /*checksums=*/true);
+    JsonRecord a, b;
+    writer.write(a.set("i", 1).set("s", "alpha"));
+    writer.write(b.set("i", 2));
+    writer.sync();  // fsync smoke: must not throw on a healthy FILE*
+  }
+  {  // every line carries the trailing crc field and still parses
+    const JsonlReadResult read = read_jsonl(path);
+    ASSERT_EQ(read.records.size(), 2u);
+    EXPECT_EQ(read.records[0].get_string("s"), "alpha");
+    EXPECT_EQ(read.records[1].get_number("i"), 2.0);
+    EXPECT_EQ(read.skipped_lines, 0u);
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      EXPECT_NE(line.find(",\"crc\":\""), std::string::npos) << line;
+    }
+  }
+  {  // flip one payload byte: the line must be dropped, not trusted
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    const size_t at = content.find("alpha");
+    ASSERT_NE(at, std::string::npos);
+    content[at] = 'A';
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+  }
+  const JsonlReadResult read = read_jsonl(path);
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.records[0].get_number("i"), 2.0);
+  EXPECT_EQ(read.skipped_lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Jsonl, UnchecksummedLinesStillAccepted) {
+  // Logs written before checksums existed must keep loading.
+  const std::string path = ::testing::TempDir() + "rotsv_jsonl_legacy.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"i\":1}\n";
+  }
+  const JsonlReadResult read = read_jsonl(path);
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.skipped_lines, 0u);
+  std::remove(path.c_str());
 }
 
 TEST(Cli, ParseErrorsPrintFileLineAndGetTheParseExitCode) {

@@ -43,6 +43,10 @@ void usage(const char* argv0) {
       "  --threads N     worker threads (default: hardware)\n"
       "  --out PATH      JSONL result log (default: campaign_results.jsonl)\n"
       "  --resume        continue from the existing result log\n"
+      "  --retries N     retry-ladder rungs after a failed attempt (default 3)\n"
+      "  --max-die-steps N    per-die transient step budget, 0 = unlimited\n"
+      "  --max-die-seconds S  per-die wall-clock budget, 0 = unlimited\n"
+      "  --inject SPEC   chaos fault plan: solve@N, io@N, kill@K (comma-sep)\n"
       "  --fast          short simulation windows (demo/smoke speed)\n"
       "  --no-preflight  skip the static spec analysis before screening\n"
       "  --quiet         suppress per-die progress\n",
@@ -63,6 +67,14 @@ bool parse_double(const char* s, double* out) {
   return end != s && *end == '\0';
 }
 
+bool parse_u64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +88,7 @@ int main(int argc, char** argv) {
   spec.mix.edge_bias = 1.0;
 
   std::string out_path = "campaign_results.jsonl";
+  std::string inject_spec;
   bool resume = false;
   bool fast = false;
   bool quiet = false;
@@ -137,6 +150,15 @@ int main(int argc, char** argv) {
       out_path = value();
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--retries") {
+      ok = parse_int(value(), &spec.retry.retries) && spec.retry.retries >= 0;
+    } else if (arg == "--max-die-steps") {
+      ok = parse_u64(value(), &spec.tester.die_budget.max_steps);
+    } else if (arg == "--max-die-seconds") {
+      ok = parse_double(value(), &spec.tester.die_budget.max_seconds) &&
+           spec.tester.die_budget.max_seconds >= 0.0;
+    } else if (arg == "--inject") {
+      inject_spec = value();
     } else if (arg == "--fast") {
       fast = true;
     } else if (arg == "--no-preflight") {
@@ -180,6 +202,15 @@ int main(int argc, char** argv) {
     options.result_path = out_path;
     options.resume = resume;
     options.preflight = preflight;
+    if (!inject_spec.empty()) {
+      try {
+        options.inject = InjectionSpec::parse(inject_spec);
+        std::printf("fault injection: %s\n", options.inject.describe().c_str());
+      } catch (const ConfigError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return kExitUsage;
+      }
+    }
     if (!quiet) {
       options.progress = [](const DieResult& die, int done, int total) {
         std::printf("  [%4d/%4d] w%d (%2d,%2d) -> %s\n", done, total, die.wafer,
@@ -202,7 +233,22 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s\n%s", report.aggregate.describe().c_str(),
                 report.throughput.describe().c_str());
+    if (report.aggregate.die_bins.inconclusive > 0) {
+      std::printf("quarantined %d dice (no verdict within the retry/budget "
+                  "limits; re-run or raise --retries / budgets)\n",
+                  report.aggregate.die_bins.inconclusive);
+    }
+    if (report.throughput.io_retries > 0 || report.throughput.io_failures > 0) {
+      std::printf("result-log I/O: %llu retried append(s), %llu lost (resume "
+                  "re-screens lost dice)\n",
+                  static_cast<unsigned long long>(report.throughput.io_retries),
+                  static_cast<unsigned long long>(report.throughput.io_failures));
+    }
     return kExitOk;
+  } catch (const InjectedKill& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "(injected kill; continue with --resume)\n");
+    return kExitDiagnostics;
   } catch (const AnalysisError& e) {
     std::fprintf(stderr, "preflight rejected the campaign spec:\n%s",
                  e.report().describe().c_str());
