@@ -71,12 +71,23 @@ int main() {
     }
   }
 
+  // On a single-core box the 1 -> 4 figure measures scheduler overhead, not
+  // scaling; skip it (and say so) rather than record a misleading 1.0x.
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool speedup_meaningful = hardware_threads > 1;
   const double speedup_1_to_4 =
       stats[0].screening_seconds > 0.0 && stats[2].screening_seconds > 0.0
           ? stats[0].screening_seconds / stats[2].screening_seconds
           : 0.0;
-  std::printf("\n1 -> 4 thread speedup: %.2fx (results identical: PASS)\n",
-              speedup_1_to_4);
+  if (speedup_meaningful) {
+    std::printf("\n1 -> 4 thread speedup: %.2fx (results identical: PASS)\n",
+                speedup_1_to_4);
+  } else {
+    std::printf(
+        "\n1 -> 4 thread speedup: skipped -- only %u hardware thread(s), "
+        "no parallel scaling to measure (results identical: PASS)\n",
+        hardware_threads);
+  }
 
   const std::string json_path = out_path("BENCH_campaign.json");
   std::ofstream json(json_path);
@@ -95,7 +106,14 @@ int main() {
         i + 1 < thread_counts.size() ? "," : "");
   }
   json << "  ],\n";
-  json << format("  \"speedup_1_to_4\": %.3f\n}\n", speedup_1_to_4);
+  if (speedup_meaningful) {
+    json << format("  \"speedup_1_to_4\": %.3f\n}\n", speedup_1_to_4);
+  } else {
+    json << "  \"speedup_1_to_4\": null,\n";
+    json << format(
+        "  \"speedup_note\": \"skipped: %u hardware thread(s)\"\n}\n",
+        hardware_threads);
+  }
   json.close();
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

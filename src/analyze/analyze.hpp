@@ -63,4 +63,12 @@ AnalysisReport analyze_campaign(const CampaignSpec& spec);
 /// thrown ConfigError, so lint tooling can report it alongside other findings.
 AnalysisReport analyze_injection_spec(const std::string& text);
 
+/// Serve-layer deployment sanity: worker count, shard size and restart
+/// budget. Runs at rotsv_serve startup so a misconfigured daemon refuses to
+/// come up instead of wedging on the first submitted job. Takes plain values
+/// (not the ServeOptions struct) to keep analyze below serve in the layer
+/// order.
+AnalysisReport analyze_serve_config(int workers, int shard_size,
+                                    int max_restarts);
+
 }  // namespace rotsv

@@ -219,6 +219,34 @@ AnalysisReport analyze_campaign(const CampaignSpec& spec) {
   return report;
 }
 
+AnalysisReport analyze_serve_config(int workers, int shard_size,
+                                    int max_restarts) {
+  AnalysisReport report;
+  if (workers < 1) {
+    report.add(DiagCode::kBadServeConfig, DiagSeverity::kError, "workers", 0,
+               format("worker count %d must be >= 1", workers));
+  } else if (workers > 256) {
+    report.add(DiagCode::kBadServeConfig, DiagSeverity::kWarning, "workers", 0,
+               format("%d worker processes is beyond any plausible host; "
+                      "each one holds a full tester",
+                      workers));
+  }
+  if (shard_size < 1) {
+    report.add(DiagCode::kBadServeConfig, DiagSeverity::kError, "shard_size", 0,
+               format("shard size %d must be >= 1", shard_size));
+  }
+  if (max_restarts < 0) {
+    report.add(DiagCode::kBadServeConfig, DiagSeverity::kError,
+               "max_restarts", 0,
+               format("restart budget %d must be >= 0", max_restarts));
+  } else if (max_restarts == 0) {
+    report.add(DiagCode::kBadServeConfig, DiagSeverity::kWarning,
+               "max_restarts", 0,
+               "restart budget 0: any worker death abandons the job");
+  }
+  return report;
+}
+
 AnalysisReport analyze_injection_spec(const std::string& text) {
   AnalysisReport report;
   try {

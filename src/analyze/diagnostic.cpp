@@ -39,6 +39,7 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::kBadRetryPolicy: return "bad-retry-policy";
     case DiagCode::kBadDieBudget: return "bad-die-budget";
     case DiagCode::kBadInjectSpec: return "bad-inject-spec";
+    case DiagCode::kBadServeConfig: return "bad-serve-config";
   }
   return "unknown";
 }

@@ -54,6 +54,8 @@ enum class DiagCode {
   kBadRetryPolicy,    ///< negative retries / non-finite perturbation or gmin
   kBadDieBudget,      ///< nonsensical per-die step/wall-clock budget
   kBadInjectSpec,     ///< malformed --inject fault-injection specification
+  // -- serve ------------------------------------------------------------------
+  kBadServeConfig,    ///< nonsensical worker/shard/restart configuration
 };
 
 /// Stable machine-readable name of a code, e.g. "floating-node".

@@ -94,11 +94,10 @@ std::string ThroughputStats::describe() const {
       calibration_seconds);
 }
 
-CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
-                                     const std::vector<DieResult>& results) {
-  CampaignAggregate agg;
-  agg.total_dice = spec.total_dice();
-  agg.wafer_maps.reserve(static_cast<size_t>(spec.wafers));
+StreamingAggregate::StreamingAggregate(const CampaignSpec& spec)
+    : wafers_(spec.wafers), rows_(spec.rows), cols_(spec.cols) {
+  agg_.total_dice = spec.total_dice();
+  agg_.wafer_maps.reserve(static_cast<size_t>(spec.wafers));
   for (int w = 0; w < spec.wafers; ++w) {
     WaferMap map;
     map.wafer = w;
@@ -111,63 +110,69 @@ CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
       }
       map.grid.push_back(std::move(row));
     }
-    agg.wafer_maps.push_back(std::move(map));
+    agg_.wafer_maps.push_back(std::move(map));
+  }
+}
+
+void StreamingAggregate::add(const DieResult& die) {
+  require(die.wafer >= 0 && die.wafer < wafers_ &&
+              die.row >= 0 && die.row < rows_ &&
+              die.col >= 0 && die.col < cols_,
+          "aggregate: die result outside the campaign grid");
+  ++agg_.screened_dice;
+  agg_.sim_steps += die.sim_steps;
+  agg_.early_exits += die.early_exits;
+  agg_.die_bins.add(die.verdict);
+  agg_.wafer_maps[static_cast<size_t>(die.wafer)]
+      .grid[static_cast<size_t>(die.row)][static_cast<size_t>(die.col)] =
+      verdict_code(die.verdict);
+
+  for (char code : die.tsv_verdicts) {
+    switch (code) {
+      case 'P': agg_.tsv_bins.add(TsvVerdict::kPass); break;
+      case 'O': agg_.tsv_bins.add(TsvVerdict::kResistiveOpen); break;
+      case 'L': agg_.tsv_bins.add(TsvVerdict::kLeakage); break;
+      case 'S': agg_.tsv_bins.add(TsvVerdict::kStuck); break;
+      case 'I': agg_.tsv_bins.add(TsvVerdict::kInconclusive); break;
+      default: throw ConfigError("aggregate: bad per-TSV verdict code");
+    }
   }
 
-  for (const DieResult& die : results) {
-    require(die.wafer >= 0 && die.wafer < spec.wafers &&
-                die.row >= 0 && die.row < spec.rows &&
-                die.col >= 0 && die.col < spec.cols,
-            "aggregate: die result outside the campaign grid");
-    ++agg.screened_dice;
-    agg.sim_steps += die.sim_steps;
-    agg.early_exits += die.early_exits;
-    agg.die_bins.add(die.verdict);
-    agg.wafer_maps[static_cast<size_t>(die.wafer)]
-        .grid[static_cast<size_t>(die.row)][static_cast<size_t>(die.col)] =
-        verdict_code(die.verdict);
-
-    for (char code : die.tsv_verdicts) {
-      switch (code) {
-        case 'P': agg.tsv_bins.add(TsvVerdict::kPass); break;
-        case 'O': agg.tsv_bins.add(TsvVerdict::kResistiveOpen); break;
-        case 'L': agg.tsv_bins.add(TsvVerdict::kLeakage); break;
-        case 'S': agg.tsv_bins.add(TsvVerdict::kStuck); break;
-        case 'I': agg.tsv_bins.add(TsvVerdict::kInconclusive); break;
-        default: throw ConfigError("aggregate: bad per-TSV verdict code");
-      }
-    }
-
-    if (die.verdict == TsvVerdict::kInconclusive) {
-      // Quarantined: the screen produced no verdict, so the die is neither
-      // caught, escaped nor overkilled -- it goes to the retest bin. Truth
-      // counters still see it (the lot composition is what it is).
-      ++agg.quality.quarantined;
-      if (die.defective) {
-        ++agg.quality.defective;
-      } else {
-        ++agg.quality.clean;
-      }
-      continue;
-    }
-
-    const bool flagged = die.verdict != TsvVerdict::kPass;
+  if (die.verdict == TsvVerdict::kInconclusive) {
+    // Quarantined: the screen produced no verdict, so the die is neither
+    // caught, escaped nor overkilled -- it goes to the retest bin. Truth
+    // counters still see it (the lot composition is what it is).
+    ++agg_.quality.quarantined;
     if (die.defective) {
-      ++agg.quality.defective;
-      if (flagged) {
-        ++agg.quality.caught;
-        if (!verdict_matches_truth(die.verdict, die.truth)) {
-          ++agg.quality.misclassified;
-        }
-      } else {
-        ++agg.quality.escapes;
+      ++agg_.quality.defective;
+    } else {
+      ++agg_.quality.clean;
+    }
+    return;
+  }
+
+  const bool flagged = die.verdict != TsvVerdict::kPass;
+  if (die.defective) {
+    ++agg_.quality.defective;
+    if (flagged) {
+      ++agg_.quality.caught;
+      if (!verdict_matches_truth(die.verdict, die.truth)) {
+        ++agg_.quality.misclassified;
       }
     } else {
-      ++agg.quality.clean;
-      if (flagged) ++agg.quality.overkill;
+      ++agg_.quality.escapes;
     }
+  } else {
+    ++agg_.quality.clean;
+    if (flagged) ++agg_.quality.overkill;
   }
-  return agg;
+}
+
+CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
+                                     const std::vector<DieResult>& results) {
+  StreamingAggregate stream(spec);
+  for (const DieResult& die : results) stream.add(die);
+  return stream.aggregate();
 }
 
 }  // namespace rotsv

@@ -88,7 +88,34 @@ struct ThroughputStats {
   std::string describe() const;
 };
 
+/// Incremental campaign aggregation: folds die results one at a time into
+/// wafer maps, verdict bins and the screen-quality ledger, never holding the
+/// DieResult records themselves. This is the aggregation path the serve
+/// layer streams millions of verdicts through -- memory is O(grid sites)
+/// for the wafer maps plus a fixed set of counters, independent of how many
+/// dice have been folded. aggregate_campaign() below is one fold over a
+/// vector; both produce identical aggregates for identical inputs in any
+/// order (the wafer-map cell write is idempotent per die).
+class StreamingAggregate {
+ public:
+  explicit StreamingAggregate(const CampaignSpec& spec);
+
+  /// Folds one die result. Throws ConfigError when the die lies outside the
+  /// campaign grid or carries a malformed per-TSV verdict string.
+  void add(const DieResult& die);
+
+  const CampaignAggregate& aggregate() const { return agg_; }
+  int screened() const { return agg_.screened_dice; }
+
+ private:
+  int wafers_;
+  int rows_;
+  int cols_;
+  CampaignAggregate agg_;
+};
+
 /// Builds the aggregate from die results (any order; must belong to `spec`).
+/// One StreamingAggregate fold over the vector.
 CampaignAggregate aggregate_campaign(const CampaignSpec& spec,
                                      const std::vector<DieResult>& results);
 

@@ -86,6 +86,15 @@ int CampaignSpec::die_index(int wafer, int row, int col) const {
   return (wafer * rows + row) * cols + col;
 }
 
+void CampaignSpec::die_site(int index, int* wafer, int* row, int* col) const {
+  require(index >= 0 && index < wafers * rows * cols,
+          format("campaign: die index %d outside the %dx%dx%d grid", index,
+                 wafers, rows, cols));
+  *col = index % cols;
+  *row = (index / cols) % rows;
+  *wafer = index / (rows * cols);
+}
+
 std::string CampaignSpec::fingerprint() const {
   std::string volts;
   for (double v : tester.voltages) volts += format("%.6g,", v);

@@ -76,6 +76,11 @@ struct CampaignSpec {
   /// unpopulated sites so the mapping is invertible without a scan.
   int die_index(int wafer, int row, int col) const;
 
+  /// Inverse of die_index. Throws ConfigError when `index` lies outside the
+  /// campaign grid (the serve layer decodes worker shard assignments with
+  /// this, so a corrupt index must fail loudly, not wrap around).
+  void die_site(int index, int* wafer, int* row, int* col) const;
+
   /// A fingerprint of every determinism-relevant parameter; stored in the
   /// result log header and checked on resume so a checkpoint can never be
   /// continued with a different campaign.

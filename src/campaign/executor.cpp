@@ -22,12 +22,6 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-struct DieSite {
-  int wafer;
-  int row;
-  int col;
-};
-
 TsvVerdict worse(TsvVerdict a, TsvVerdict b) {
   auto rank = [](TsvVerdict v) {
     switch (v) {
@@ -43,6 +37,34 @@ TsvVerdict worse(TsvVerdict a, TsvVerdict b) {
 }
 
 }  // namespace
+
+std::vector<DieSite> campaign_sites(const CampaignSpec& spec,
+                                    const std::vector<bool>* done) {
+  std::vector<DieSite> sites;
+  for (int w = 0; w < spec.wafers; ++w) {
+    for (int r = 0; r < spec.rows; ++r) {
+      for (int c = 0; c < spec.cols; ++c) {
+        if (!spec.die_present(r, c)) continue;
+        const size_t g = static_cast<size_t>(spec.die_index(w, r, c));
+        if (done && g < done->size() && (*done)[g]) continue;
+        sites.push_back({w, r, c});
+      }
+    }
+  }
+  return sites;
+}
+
+PreBondTsvTester make_banded_tester(
+    const CampaignSpec& spec,
+    const std::vector<std::pair<double, double>>& bands) {
+  require(bands.size() == spec.tester.voltages.size(),
+          "campaign: bands must match the spec's voltage plan");
+  PreBondTsvTester tester(spec.tester);
+  for (size_t vi = 0; vi < bands.size(); ++vi) {
+    tester.set_band(vi, bands[vi].first, bands[vi].second);
+  }
+  return tester;
+}
 
 DieResult screen_die(const CampaignSpec& spec, const PreBondTsvTester& tester,
                      int wafer, int row, int col, FaultInjector* injector) {
@@ -202,16 +224,7 @@ CampaignReport CampaignExecutor::run(const CampaignRunOptions& options) {
   for (const DieResult& r : resumed.completed) {
     done[static_cast<size_t>(r.die)] = true;
   }
-  std::vector<DieSite> pending;
-  for (int w = 0; w < spec_.wafers; ++w) {
-    for (int r = 0; r < spec_.rows; ++r) {
-      for (int c = 0; c < spec_.cols; ++c) {
-        if (!spec_.die_present(r, c)) continue;
-        if (done[static_cast<size_t>(spec_.die_index(w, r, c))]) continue;
-        pending.push_back({w, r, c});
-      }
-    }
-  }
+  const std::vector<DieSite> pending = campaign_sites(spec_, &done);
 
   const int total = spec_.total_dice();
   report.results = std::move(resumed.completed);

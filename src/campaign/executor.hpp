@@ -20,6 +20,31 @@
 
 namespace rotsv {
 
+/// One populated grid site awaiting screening. The unit the executor's
+/// thread pool and the serve scheduler's worker processes both shard over.
+struct DieSite {
+  int wafer = 0;
+  int row = 0;
+  int col = 0;
+};
+
+/// Every populated site of the campaign, in dense die-index order -- the
+/// canonical shard universe. `done`, when non-null, is indexed by global die
+/// index (spec.die_index) and filters out already-completed dice, which is
+/// how both checkpoint resume and worker-death shard reassignment recover.
+std::vector<DieSite> campaign_sites(const CampaignSpec& spec,
+                                    const std::vector<bool>* done = nullptr);
+
+/// Constructs a tester for `spec` with the given per-voltage pass bands
+/// installed instead of running calibration. This is the worker-process
+/// entry point: the scheduler calibrates (or resumes bands) once and ships
+/// the bands in the worker-init frame, so N workers never repeat the
+/// dominant fixed cost. Throws ConfigError when `bands` does not match the
+/// spec's voltage plan.
+PreBondTsvTester make_banded_tester(
+    const CampaignSpec& spec,
+    const std::vector<std::pair<double, double>>& bands);
+
 struct CampaignRunOptions {
   /// JSONL result log path. Empty runs in-memory (no checkpointing).
   std::string result_path;

@@ -26,6 +26,8 @@ TsvFaultType truth_from_name(const std::string& s) {
   throw ConfigError(format("result log: unknown truth class '%s'", s.c_str()));
 }
 
+}  // namespace
+
 TsvVerdict verdict_from_code(char c) {
   switch (c) {
     case 'P': return TsvVerdict::kPass;
@@ -37,7 +39,7 @@ TsvVerdict verdict_from_code(char c) {
   throw ConfigError(format("result log: unknown verdict code '%c'", c));
 }
 
-JsonRecord die_to_record(const DieResult& r) {
+JsonRecord die_result_to_record(const DieResult& r) {
   JsonRecord rec;
   rec.set("type", "die")
       .set("die", r.die)
@@ -62,7 +64,7 @@ JsonRecord die_to_record(const DieResult& r) {
   return rec;
 }
 
-DieResult die_from_record(const JsonRecord& rec) {
+DieResult die_result_from_record(const JsonRecord& rec) {
   DieResult r;
   r.die = static_cast<int>(rec.get_number("die"));
   r.wafer = static_cast<int>(rec.get_number("wafer"));
@@ -88,8 +90,6 @@ DieResult die_from_record(const JsonRecord& rec) {
   }
   return r;
 }
-
-}  // namespace
 
 char verdict_code(TsvVerdict v) {
   switch (v) {
@@ -158,7 +158,7 @@ void CampaignResultStore::write_diagnostics(const AnalysisReport& report) {
 
 void CampaignResultStore::append(const DieResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
-  writer_.write(die_to_record(result));
+  writer_.write(die_result_to_record(result));
   if (++appends_since_sync_ >= kSyncInterval) {
     writer_.sync();
     appends_since_sync_ = 0;
@@ -208,7 +208,7 @@ ResumeState load_resume_state(const std::string& path, const CampaignSpec& spec)
         band_seen[idx] = true;
       }
     } else if (type == "die") {
-      DieResult r = die_from_record(rec);
+      DieResult r = die_result_from_record(rec);
       const size_t slot = static_cast<size_t>(r.die);
       if (die_seen.size() <= slot) die_seen.resize(slot + 1, false);
       if (die_seen[slot]) continue;  // duplicate (kill between write and ack)

@@ -50,6 +50,30 @@ struct DieResult {
 };
 
 char verdict_code(TsvVerdict v);
+TsvVerdict verdict_from_code(char c);
+
+/// Wire/storage codec for one die result. The flat JSON record is the
+/// exchange format shared by the JSONL log, the serve protocol's verdict
+/// frames, and the colstore import/export path, so every consumer stores
+/// and transmits byte-identical field semantics.
+JsonRecord die_result_to_record(const DieResult& result);
+DieResult die_result_from_record(const JsonRecord& record);
+
+/// Anything that durably accepts completed die results, one at a time.
+/// Implemented by the JSONL CampaignResultStore below and by the binary
+/// columnar ColStoreWriter (serve/colstore.hpp); the executor and the serve
+/// scheduler write through this interface so the storage format is a
+/// deployment choice, not a code path.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Appends one die result. Must be safe to call from worker threads.
+  virtual void append(const DieResult& result) = 0;
+
+  /// Forces buffered records to disk (fsync or equivalent).
+  virtual void sync() = 0;
+};
 
 /// State recovered from an existing result log.
 struct ResumeState {
@@ -58,7 +82,7 @@ struct ResumeState {
   size_t skipped_lines = 0;                      ///< corrupt/partial lines
 };
 
-class CampaignResultStore {
+class CampaignResultStore : public ResultSink {
  public:
   /// Starts a fresh log at `path` (truncating) and writes the header.
   static std::unique_ptr<CampaignResultStore> create(const std::string& path,
@@ -81,11 +105,11 @@ class CampaignResultStore {
 
   /// Appends one die result. Thread-safe; flushed before returning, and
   /// fsynced every kSyncInterval appends (chunk-boundary durability).
-  void append(const DieResult& result);
+  void append(const DieResult& result) override;
 
   /// Forces the log to disk (fsync). Called by the executor at the end of a
   /// run; exposed for callers with their own chunk boundaries.
-  void sync();
+  void sync() override;
 
   const std::string& path() const { return writer_.path(); }
 

@@ -1,0 +1,73 @@
+// ServeClient: the client half of the rotsv::serve protocol.
+//
+// One connection per client. submit_and_stream() is the main entry point:
+// it ships a CampaignSpec, then folds the verdict stream through a callback
+// until the job-done summary arrives -- the caller (rotsv_campaign --server)
+// typically feeds a StreamingAggregate, so client-side wafer maps and
+// quality ledgers come out bit-identical to a local run without ever holding
+// the result set. A kWireError reply anywhere becomes a thrown RemoteError
+// carrying the server's FailureKind and diagnostic detail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "campaign/result_store.hpp"
+#include "serve/socket.hpp"
+
+namespace rotsv {
+
+/// Decoded job-done / status payload.
+struct JobSummary {
+  uint64_t job = 0;
+  std::string state;  ///< running / done / cancelled / failed / shutdown
+  std::string fingerprint;
+  int total = 0;
+  int screened = 0;
+  int resumed = 0;
+  int restarts = 0;
+  VerdictBins die_bins;   ///< present on job-done only
+  ScreenQuality quality;  ///< present on job-done only
+  uint64_t sim_steps = 0;
+  uint64_t early_exits = 0;
+};
+
+class ServeClient {
+ public:
+  /// Connects ("unix:PATH" or "HOST:PORT"); IoError on failure.
+  explicit ServeClient(const std::string& address);
+
+  /// Submits `spec` and streams verdicts through `on_verdict` (resumed dice
+  /// first, then new ones as workers finish them) until the job completes.
+  /// `should_cancel`, when given, is polled after every verdict; returning
+  /// true sends a cancel request, and the summary comes back with state
+  /// "cancelled". Throws RemoteError on a server-side rejection (preflight
+  /// diagnostics ride RemoteError::wire().detail) and IoError on transport
+  /// loss.
+  JobSummary submit_and_stream(
+      const CampaignSpec& spec,
+      const std::function<void(const DieResult&)>& on_verdict = nullptr,
+      const std::function<bool()>& should_cancel = nullptr);
+
+  /// Queries a job (0 = the server's latest).
+  JobSummary status(uint64_t job = 0);
+
+  /// Replays a finished job's verdicts from the server's result store.
+  JobSummary stream_verdicts(
+      uint64_t job, const std::function<void(const DieResult&)>& on_verdict);
+
+  /// Asks for a terminal job's state (mid-job cancellation goes through
+  /// submit_and_stream's should_cancel hook instead).
+  JobSummary cancel(uint64_t job = 0);
+
+  /// Asks the server to exit after replying.
+  void shutdown();
+
+ private:
+  UniqueFd fd_;
+};
+
+}  // namespace rotsv

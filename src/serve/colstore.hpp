@@ -1,0 +1,135 @@
+// Binary columnar campaign result store ("colstore", .rcs).
+//
+// The JSONL checkpoint log spends ~200 bytes of text per die; at
+// millions-of-dice fab-floor scale the log itself becomes the bottleneck.
+// The colstore packs completed dice into fixed-width column blocks:
+//
+//   file   := header block* footer?
+//   header := magic "RCS1" | u32 version | u32 tsv_width
+//           | u32 fp_len | fingerprint bytes | u32 crc(header)
+//   block  := magic "BLK1" | u32 count | u32 payload_bytes
+//           | payload | u32 crc(payload)
+//   footer := magic "FTR1" | u32 block_count
+//           | { u64 offset, u32 count } per block | u32 crc(footer)
+//
+// A block's payload is one array per column over its `count` records --
+// die/wafer/row/col (i32), verdict/truth/defective/fail-kind (u8), attempts
+// (u16), fail-tsv (i32), steps/early (u64), seconds (f64), the per-die TSV
+// verdict chars (tsv_width each), and a string pool (u32 offsets + bytes)
+// for failure messages. All integers little-endian.
+//
+// Durability contract, mirroring the JSONL log:
+//  - every block carries a CRC-32 of its payload; a bit-rotted block is
+//    rejected on read (counted, never silently decoded);
+//  - a torn tail (kill mid-block-write) is detected by the scan and ignored;
+//    open_append() truncates it so new blocks land on a clean boundary;
+//  - the footer index is written by finish() only -- its presence certifies
+//    a cleanly closed file; readers never *trust* it (blocks are CRC-checked
+//    regardless), they use it to cross-check the scan.
+//
+// JSONL is demoted to the import/export format: the conversion functions at
+// the bottom round-trip losslessly through the shared die-record codec.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hpp"
+#include "campaign/result_store.hpp"
+
+namespace rotsv {
+
+struct ColStoreStats {
+  size_t blocks = 0;          ///< CRC-valid blocks decoded
+  size_t records = 0;         ///< die results decoded
+  size_t dropped_blocks = 0;  ///< blocks rejected (CRC mismatch / malformed)
+  uint64_t torn_bytes = 0;    ///< trailing bytes ignored (torn write)
+  bool clean_footer = false;  ///< file ended with a valid footer index
+};
+
+struct ColStoreReadResult {
+  std::string fingerprint;  ///< campaign fingerprint from the header
+  int tsv_width = 0;        ///< TSV verdict chars per die
+  std::vector<DieResult> records;
+  ColStoreStats stats;
+};
+
+/// Streams every valid record of a colstore file through `visit` without
+/// materializing more than one block of DieResults at a time -- the
+/// aggregation path for stores too large to hold in memory. Returns the
+/// scan stats; `fingerprint`, when non-null, receives the header's value.
+/// Throws IoError when the file is missing or its header is invalid.
+ColStoreStats scan_colstore(const std::string& path,
+                            const std::function<void(const DieResult&)>& visit,
+                            std::string* fingerprint = nullptr);
+
+/// Reads a whole store into memory (tests, export, small stores).
+ColStoreReadResult read_colstore(const std::string& path);
+
+/// Same, validating the header fingerprint against `spec` (ConfigError on
+/// mismatch -- a store can never be confused with a different campaign's).
+ColStoreReadResult read_colstore(const std::string& path,
+                                 const CampaignSpec& spec);
+
+/// Append-oriented colstore writer; the serve scheduler's ResultSink.
+/// Thread-safe. Records buffer into blocks of kBlockRecords; sync() flushes
+/// the partial block and fsyncs (crash loses at most the unsynced tail,
+/// each of which a resume re-screens deterministically); finish() appends
+/// the footer index. The destructor calls finish() for normal exits -- a
+/// killed process simply leaves a footerless (still readable) file.
+class ColStoreWriter : public ResultSink {
+ public:
+  /// Fresh store at `path` (truncating).
+  static std::unique_ptr<ColStoreWriter> create(const std::string& path,
+                                                const CampaignSpec& spec);
+
+  /// Opens an existing store for appending: validates the fingerprint,
+  /// recovers every valid record into `recovered` (when non-null), and
+  /// truncates any torn tail and old footer so appends land cleanly.
+  static std::unique_ptr<ColStoreWriter> open_append(
+      const std::string& path, const CampaignSpec& spec,
+      ColStoreReadResult* recovered);
+
+  ~ColStoreWriter() override;
+
+  void append(const DieResult& result) override;
+  void sync() override;
+
+  /// Flushes and writes the footer index; the writer is closed afterwards.
+  void finish();
+
+  const std::string& path() const { return path_; }
+
+  static constexpr int kBlockRecords = 128;
+
+ private:
+  ColStoreWriter(std::string path, int tsv_width);
+
+  void flush_block_locked();
+  void write_footer_locked();
+
+  std::mutex mutex_;
+  std::string path_;
+  int tsv_width_;
+  std::FILE* out_ = nullptr;
+  std::vector<DieResult> pending_;
+  std::vector<std::pair<uint64_t, uint32_t>> block_index_;  ///< offset, count
+  bool finished_ = false;
+};
+
+/// Converts a colstore to a fresh JSONL result log (header + one die record
+/// per line, CRC'd) readable by load_resume_state. Returns records written.
+size_t export_colstore_to_jsonl(const std::string& colstore_path,
+                                const std::string& jsonl_path,
+                                const CampaignSpec& spec);
+
+/// Converts a JSONL result log to a fresh colstore. Returns records written.
+size_t import_jsonl_to_colstore(const std::string& jsonl_path,
+                                const std::string& colstore_path,
+                                const CampaignSpec& spec);
+
+}  // namespace rotsv

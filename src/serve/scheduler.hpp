@@ -1,0 +1,82 @@
+// Shard scheduler: fans a campaign out over worker *processes*.
+//
+// The executor's thread pool shares one address space; the serve layer wants
+// OS-level isolation (a crashed or SIGKILLed worker must not take the server
+// down) and the paper's fab-floor framing wants horizontal scale. So the
+// scheduler fork/execs `rotsv_worker` children, speaks protocol frames over
+// their stdin/stdout pipes, and deals dice shards off one queue.
+//
+// Fault model: a worker dying (EOF or waitpid says signaled) mid-shard is
+// routine, not fatal. The scheduler knows exactly which dice of the shard
+// produced verdicts, reassigns the remainder to the next free worker, and
+// respawns the dead one (up to a restart budget). Because die verdicts are
+// pure functions of (spec, die index, bands), the recovered run is
+// bit-identical to an undisturbed one -- the property the serve system tests
+// pin down.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "campaign/result_store.hpp"
+
+namespace rotsv {
+
+struct SchedulerOptions {
+  int workers = 2;      ///< worker processes to keep alive
+  int shard_size = 8;   ///< dice per shard assignment
+  std::string worker_path;  ///< rotsv_worker binary to exec (required)
+  /// Chaos hook: the FIRST worker spawned is told to SIGKILL itself after
+  /// this many verdicts (passed through as its --kill-after flag), forcing
+  /// one death + shard reassignment per job. <0 disables.
+  int inject_worker_kill = -1;
+  /// Worker respawns tolerated before the job is abandoned. Guards against
+  /// a worker binary that dies instantly in a respawn loop.
+  int max_restarts = 8;
+};
+
+struct SchedulerReport {
+  CampaignAggregate aggregate;  ///< over ALL dice (resumed + newly screened)
+  int screened_dice = 0;        ///< dice screened by workers this run
+  int resumed_dice = 0;         ///< dice recovered from the result sink
+  int worker_restarts = 0;      ///< deaths survived (injected or real)
+  bool cancelled = false;       ///< stopped early by the cancel check
+  uint64_t sim_steps = 0;       ///< accepted transient steps this run
+  uint64_t early_exits = 0;
+  std::vector<std::pair<double, double>> bands;
+};
+
+/// Pass bands for `spec`: preset bands when the spec carries them, otherwise
+/// one in-process calibration (the dominant fixed cost, paid once -- workers
+/// receive the result in their init frame and never calibrate).
+std::vector<std::pair<double, double>> campaign_bands(const CampaignSpec& spec);
+
+class ShardScheduler {
+ public:
+  ShardScheduler(CampaignSpec spec, SchedulerOptions options);
+
+  /// Screens every die not already in `resumed`, writing new results through
+  /// `sink` (may be null) and invoking `on_verdict` for each as it arrives
+  /// (arrival order is scheduling-dependent; the verdicts themselves are
+  /// not). `cancel_check`, polled between verdicts, stops the job early:
+  /// workers are terminated, completed dice stay in the sink (the job is
+  /// resumable), and the report comes back with cancelled = true. Throws
+  /// Error when the restart budget is exhausted or a worker cannot be
+  /// spawned at all.
+  SchedulerReport run(
+      ResultSink* sink, const std::vector<DieResult>& resumed,
+      const std::vector<std::pair<double, double>>& bands,
+      const std::function<void(const DieResult&)>& on_verdict = nullptr,
+      const std::function<bool()>& cancel_check = nullptr);
+
+  const CampaignSpec& spec() const { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+  SchedulerOptions options_;
+};
+
+}  // namespace rotsv

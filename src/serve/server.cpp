@@ -1,0 +1,379 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "analyze/analyze.hpp"
+#include "serve/colstore.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+JsonRecord status_record(const ScreeningServer::JobEntry& job) {
+  JsonRecord rec;
+  rec.set("job", job.id)
+      .set("state", job.state)
+      .set("fingerprint", job.fingerprint)
+      .set("total", static_cast<uint64_t>(job.total))
+      .set("screened", static_cast<uint64_t>(job.screened))
+      .set("resumed", static_cast<uint64_t>(job.resumed))
+      .set("restarts", static_cast<uint64_t>(job.restarts));
+  return rec;
+}
+
+JsonRecord summary_record(const ScreeningServer::JobEntry& job) {
+  const CampaignAggregate& agg = job.aggregate;
+  JsonRecord rec = status_record(job);
+  rec.set("pass", static_cast<uint64_t>(agg.die_bins.pass))
+      .set("open", static_cast<uint64_t>(agg.die_bins.open))
+      .set("leak", static_cast<uint64_t>(agg.die_bins.leak))
+      .set("stuck", static_cast<uint64_t>(agg.die_bins.stuck))
+      .set("inconclusive", static_cast<uint64_t>(agg.die_bins.inconclusive))
+      .set("defective", static_cast<uint64_t>(agg.quality.defective))
+      .set("clean", static_cast<uint64_t>(agg.quality.clean))
+      .set("caught", static_cast<uint64_t>(agg.quality.caught))
+      .set("escapes", static_cast<uint64_t>(agg.quality.escapes))
+      .set("overkill", static_cast<uint64_t>(agg.quality.overkill))
+      .set("misclassified", static_cast<uint64_t>(agg.quality.misclassified))
+      .set("quarantined", static_cast<uint64_t>(agg.quality.quarantined))
+      .set("sim_steps", agg.sim_steps)
+      .set("early_exits", agg.early_exits);
+  return rec;
+}
+
+WireError wire_error_from(const Error& error) {
+  WireError err;
+  err.kind = error.kind();
+  err.message = error.what();
+  return err;
+}
+
+}  // namespace
+
+ScreeningServer::ScreeningServer(ServeOptions options)
+    : options_(std::move(options)) {
+  const AnalysisReport analysis = analyze_serve_config(
+      options_.workers, options_.shard_size, options_.max_restarts);
+  if (analysis.has_errors()) throw AnalysisError(analysis);
+  require(!options_.worker_path.empty(),
+          "serve: no rotsv_worker binary configured");
+  address_ = ServeAddress::parse(options_.listen);
+  listen_fd_ = listen_on(&address_);
+  // Client disconnects surface as EPIPE from the framing layer, not a
+  // process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+void ScreeningServer::log(const char* fmt, ...) {
+  if (!options_.verbose) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "rotsv_serve: ");
+  std::vfprintf(stderr, fmt, args);
+  std::fprintf(stderr, "\n");
+  va_end(args);
+}
+
+void ScreeningServer::run() {
+  log("listening on %s", address_.describe().c_str());
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(format("serve: accept: %s", std::strerror(errno)));
+    }
+    UniqueFd client(fd);
+    bool shutdown = false;
+    try {
+      MsgType type{};
+      JsonRecord body;
+      while (recv_message(client.get(), &type, &body)) {
+        if (!handle_request(client.get(), static_cast<uint8_t>(type), body)) {
+          shutdown = true;
+          break;
+        }
+      }
+    } catch (const Error& e) {
+      // A torn frame or a mid-request disconnect ends this client only.
+      log("client error: %s", e.what());
+    }
+    if (shutdown) break;
+  }
+  log("shut down");
+}
+
+bool ScreeningServer::handle_request(int fd, uint8_t type,
+                                     const JsonRecord& body) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kSubmitJob:
+      handle_submit(fd, body);
+      return true;
+    case MsgType::kJobStatus:
+      handle_status(fd, body);
+      return true;
+    case MsgType::kStreamVerdicts:
+      handle_replay(fd, body);
+      return true;
+    case MsgType::kCancelJob:
+      handle_cancel(fd, body);
+      return true;
+    case MsgType::kShutdown: {
+      JsonRecord rec;
+      rec.set("state", std::string("shutdown"));
+      send_message(fd, MsgType::kStatus, rec);
+      return false;
+    }
+    default: {
+      WireError err;
+      err.kind = FailureKind::kIoError;
+      err.message = format("serve: unexpected %s frame",
+                           msg_type_name(static_cast<MsgType>(type)));
+      send_wire_error(fd, err);
+      return true;
+    }
+  }
+}
+
+ScreeningServer::JobEntry* ScreeningServer::find_job(uint64_t id) {
+  if (id == 0 && !jobs_.empty()) return &jobs_.back();  // 0 = latest
+  for (JobEntry& job : jobs_) {
+    if (job.id == id) return &job;
+  }
+  return nullptr;
+}
+
+void ScreeningServer::handle_submit(int fd, const JsonRecord& body) {
+  // --- decode + preflight: a bad spec costs zero simulation ------------------
+  CampaignSpec spec;
+  try {
+    spec = campaign_spec_from_record(body);
+    spec.validate();
+  } catch (const Error& e) {
+    send_wire_error(fd, wire_error_from(e));
+    return;
+  }
+  const AnalysisReport analysis = analyze_campaign(spec);
+  if (analysis.has_errors()) {
+    // Rejections still get a ledger entry: the fab floor wants to know a
+    // bad spec arrived, and tests assert rejection costs zero simulation.
+    JobEntry rejected;
+    rejected.id = next_job_++;
+    rejected.fingerprint = spec.fingerprint();
+    rejected.state = "failed";
+    rejected.total = spec.total_dice();
+    jobs_.push_back(std::move(rejected));
+    WireError err;
+    err.message = format("serve: preflight rejected the job spec (%zu errors)",
+                         analysis.error_count());
+    err.detail = analysis.describe();
+    send_wire_error(fd, err);
+    log("job rejected by preflight (%zu errors)", analysis.error_count());
+    return;
+  }
+
+  jobs_.push_back(JobEntry{});
+  JobEntry& job = jobs_.back();
+  job.id = next_job_++;
+  job.fingerprint = spec.fingerprint();
+  job.state = "running";
+  job.total = spec.total_dice();
+  log("job %llu accepted: %d dice, %d workers",
+      static_cast<unsigned long long>(job.id), job.total, options_.workers);
+
+  JsonRecord accepted;
+  accepted.set("job", job.id)
+      .set("fingerprint", job.fingerprint)
+      .set("total", static_cast<uint64_t>(job.total));
+  send_message(fd, MsgType::kJobAccepted, accepted);
+
+  // --- result store: create, or resume a matching spool ----------------------
+  std::unique_ptr<ColStoreWriter> store;
+  std::vector<DieResult> resumed;
+  if (!options_.store_path.empty()) {
+    try {
+      ColStoreReadResult recovered;
+      store = ColStoreWriter::open_append(options_.store_path, spec, &recovered);
+      resumed = std::move(recovered.records);
+      log("job %llu resumes %zu dice from '%s'",
+          static_cast<unsigned long long>(job.id), resumed.size(),
+          options_.store_path.c_str());
+    } catch (const Error&) {
+      // Missing, torn-beyond-recovery, or a different campaign's spool:
+      // start the store over for this job.
+      store = ColStoreWriter::create(options_.store_path, spec);
+    }
+  }
+  job.resumed = static_cast<int>(resumed.size());
+
+  bool client_gone = false;
+  auto send_verdict = [&](const DieResult& die) {
+    if (client_gone) return;
+    try {
+      send_message(fd, MsgType::kVerdict, die_result_to_record(die));
+    } catch (const Error&) {
+      client_gone = true;  // keep screening; the store still gets verdicts
+    }
+  };
+  for (const DieResult& die : resumed) send_verdict(die);
+
+  // Cancellation: between verdicts, drain any requests the submitting
+  // connection sent mid-stream. cancel (or a vanished client) stops the job;
+  // status queries answer inline.
+  bool cancelled = false;
+  auto cancel_check = [&]() {
+    if (cancelled) return true;
+    if (client_gone) return false;  // headless finish: the store is the sink
+    pollfd p{fd, POLLIN, 0};
+    while (!cancelled && ::poll(&p, 1, 0) > 0 &&
+           (p.revents & (POLLIN | POLLHUP)) != 0) {
+      MsgType type{};
+      JsonRecord body2;
+      try {
+        if (!recv_message(fd, &type, &body2)) {
+          cancelled = true;  // client hung up: stop burning simulation
+          client_gone = true;
+          break;
+        }
+      } catch (const Error&) {
+        cancelled = true;
+        client_gone = true;
+        break;
+      }
+      if (type == MsgType::kCancelJob) {
+        cancelled = true;
+      } else if (type == MsgType::kJobStatus) {
+        try {
+          send_message(fd, MsgType::kStatus, status_record(job));
+        } catch (const Error&) {
+          client_gone = true;
+        }
+      }
+      p.revents = 0;
+    }
+    return cancelled;
+  };
+
+  // --- run the shard scheduler ------------------------------------------------
+  SchedulerOptions sched;
+  sched.workers = options_.workers;
+  sched.shard_size = options_.shard_size;
+  sched.worker_path = options_.worker_path;
+  sched.inject_worker_kill = options_.inject_worker_kill;
+  sched.max_restarts = options_.max_restarts;
+  try {
+    const std::vector<std::pair<double, double>> bands = campaign_bands(spec);
+    ShardScheduler scheduler(spec, sched);
+    const SchedulerReport report = scheduler.run(
+        store.get(), resumed, bands,
+        [&](const DieResult& die) {
+          ++job.screened;
+          send_verdict(die);
+        },
+        cancel_check);
+    job.restarts = report.worker_restarts;
+    job.aggregate = report.aggregate;
+    job.state = report.cancelled ? "cancelled" : "done";
+    if (store) store->finish();
+    log("job %llu %s: %d screened, %d resumed, %d restarts",
+        static_cast<unsigned long long>(job.id), job.state.c_str(),
+        job.screened, job.resumed, job.restarts);
+    if (!client_gone) {
+      if (report.cancelled) {
+        send_message(fd, MsgType::kStatus, status_record(job));
+      } else {
+        send_message(fd, MsgType::kJobDone, summary_record(job));
+      }
+    }
+  } catch (const Error& e) {
+    job.state = "failed";
+    log("job %llu failed: %s", static_cast<unsigned long long>(job.id),
+        e.what());
+    if (!client_gone) {
+      try {
+        send_wire_error(fd, wire_error_from(e));
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+void ScreeningServer::handle_status(int fd, const JsonRecord& body) {
+  const uint64_t id = body.has("job") ? body.get_uint64("job") : 0;
+  JobEntry* job = find_job(id);
+  if (!job) {
+    WireError err;
+    err.message = format("serve: no such job %llu",
+                         static_cast<unsigned long long>(id));
+    send_wire_error(fd, err);
+    return;
+  }
+  send_message(fd, MsgType::kStatus, status_record(*job));
+}
+
+void ScreeningServer::handle_replay(int fd, const JsonRecord& body) {
+  const uint64_t id = body.has("job") ? body.get_uint64("job") : 0;
+  JobEntry* job = find_job(id);
+  WireError err;
+  if (!job) {
+    err.message = format("serve: no such job %llu",
+                         static_cast<unsigned long long>(id));
+    send_wire_error(fd, err);
+    return;
+  }
+  if (options_.store_path.empty()) {
+    err.message = "serve: no result store configured; verdicts not retained";
+    send_wire_error(fd, err);
+    return;
+  }
+  std::string fingerprint;
+  try {
+    // Stream straight from disk: the server never holds the records.
+    scan_colstore(
+        options_.store_path,
+        [&](const DieResult& die) {
+          send_message(fd, MsgType::kVerdict, die_result_to_record(die));
+        },
+        &fingerprint);
+  } catch (const Error& e) {
+    send_wire_error(fd, wire_error_from(e));
+    return;
+  }
+  if (fingerprint != job->fingerprint) {
+    err.message = format("serve: store '%s' now holds a different campaign "
+                         "than job %llu",
+                         options_.store_path.c_str(),
+                         static_cast<unsigned long long>(job->id));
+    send_wire_error(fd, err);
+    return;
+  }
+  send_message(fd, MsgType::kJobDone, summary_record(*job));
+}
+
+void ScreeningServer::handle_cancel(int fd, const JsonRecord& body) {
+  // With single-flight jobs, a cancel on this code path can only name a job
+  // that already left the running state (mid-job cancels are drained by the
+  // submit loop's cancel_check). Report the terminal state.
+  const uint64_t id = body.has("job") ? body.get_uint64("job") : 0;
+  JobEntry* job = find_job(id);
+  if (!job) {
+    WireError err;
+    err.message = format("serve: no such job %llu",
+                         static_cast<unsigned long long>(id));
+    send_wire_error(fd, err);
+    return;
+  }
+  send_message(fd, MsgType::kStatus, status_record(*job));
+}
+
+}  // namespace rotsv

@@ -1,0 +1,92 @@
+// ScreeningServer: campaign screening as a service.
+//
+// One daemon owns the listen socket (TCP or Unix), accepts client
+// connections, and runs one screening job at a time: submit-job carries a
+// full CampaignSpec over the wire, the analyzer preflights it (a rejected
+// spec costs zero simulation and returns every diagnostic), the shard
+// scheduler fans the dice out over rotsv_worker processes, and the verdicts
+// stream back to the submitting connection as they land -- followed by a
+// job-done summary with the server-side aggregate.
+//
+// Results persist in a binary colstore (serve/colstore.hpp) when a store
+// path is configured. A resubmitted campaign whose fingerprint matches the
+// store resumes: recovered dice replay to the client instantly and only the
+// remainder is screened. stream-verdicts replays a finished job from the
+// store without the server ever holding the records in memory.
+//
+// Job lifecycle is intentionally single-flight: the fab-floor deployment
+// model is one server per tester rack, one lot in flight. Status/cancel
+// requests arriving on the submitting connection mid-job are handled between
+// verdicts; other connections queue behind the running job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "serve/socket.hpp"
+#include "util/jsonl.hpp"
+
+namespace rotsv {
+
+struct ServeOptions {
+  /// Listen address: "unix:PATH" or "HOST:PORT" (port 0 = OS-assigned, read
+  /// back through address() -- how the tests and the CI smoke job bind).
+  std::string listen = "127.0.0.1:0";
+  int workers = 2;          ///< worker processes per job
+  int shard_size = 8;       ///< dice per shard assignment
+  std::string worker_path;  ///< rotsv_worker binary (required)
+  /// Colstore spool path; empty disables persistence (and resume/replay).
+  std::string store_path;
+  /// Chaos hook, forwarded to the scheduler: first worker of each job
+  /// SIGKILLs itself after this many verdicts. <0 disables.
+  int inject_worker_kill = -1;
+  int max_restarts = 8;  ///< worker respawn budget per job
+  bool verbose = false;  ///< job lifecycle log on stderr
+};
+
+class ScreeningServer {
+ public:
+  /// Validates the options (analyze_serve_config; AnalysisError on findings)
+  /// and binds the listen socket -- a misconfigured daemon refuses to start.
+  explicit ScreeningServer(ServeOptions options);
+
+  /// The bound address, with an OS-assigned port resolved.
+  const ServeAddress& address() const { return address_; }
+
+  /// Accepts and serves connections until a shutdown request.
+  void run();
+
+  /// Completed-job ledger (tests inspect this after run() returns).
+  struct JobEntry {
+    uint64_t id = 0;
+    std::string fingerprint;
+    std::string state;  ///< running / done / cancelled / failed
+    int total = 0;
+    int screened = 0;
+    int resumed = 0;
+    int restarts = 0;
+    CampaignAggregate aggregate;
+  };
+  const std::vector<JobEntry>& jobs() const { return jobs_; }
+
+ private:
+  void handle_client(int fd);
+  /// Returns false when the request asks the server to shut down.
+  bool handle_request(int fd, uint8_t type, const JsonRecord& body);
+  void handle_submit(int fd, const JsonRecord& body);
+  void handle_status(int fd, const JsonRecord& body);
+  void handle_replay(int fd, const JsonRecord& body);
+  void handle_cancel(int fd, const JsonRecord& body);
+  JobEntry* find_job(uint64_t id);
+  void log(const char* fmt, ...);
+
+  ServeOptions options_;
+  ServeAddress address_;
+  UniqueFd listen_fd_;
+  std::vector<JobEntry> jobs_;
+  uint64_t next_job_ = 1;
+};
+
+}  // namespace rotsv

@@ -1,0 +1,163 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+constexpr const char* kUnixPrefix = "unix:";
+
+int parse_port(const std::string& text) {
+  char* end = nullptr;
+  const long port = std::strtol(text.c_str(), &end, 10);
+  require(end != text.c_str() && *end == '\0' && port >= 0 && port <= 65535,
+          format("serve: bad port '%s'", text.c_str()));
+  return static_cast<int>(port);
+}
+
+}  // namespace
+
+ServeAddress ServeAddress::parse(const std::string& text) {
+  ServeAddress addr;
+  require(!text.empty(), "serve: empty listen/connect address");
+  if (starts_with(text, kUnixPrefix)) {
+    addr.is_unix = true;
+    addr.path = text.substr(std::strlen(kUnixPrefix));
+    require(!addr.path.empty(), "serve: unix: address needs a socket path");
+    // sockaddr_un.sun_path is a fixed ~108-byte array; reject instead of
+    // silently truncating a path into someone else's socket.
+    require(addr.path.size() < sizeof(sockaddr_un{}.sun_path),
+            format("serve: unix socket path too long (%zu bytes)",
+                   addr.path.size()));
+    return addr;
+  }
+  const size_t colon = text.rfind(':');
+  require(colon != std::string::npos && colon > 0,
+          format("serve: address '%s' is neither unix:PATH nor HOST:PORT",
+                 text.c_str()));
+  addr.host = text.substr(0, colon);
+  addr.port = parse_port(text.substr(colon + 1));
+  return addr;
+}
+
+std::string ServeAddress::describe() const {
+  if (is_unix) return std::string(kUnixPrefix) + path;
+  return format("%s:%d", host.c_str(), port);
+}
+
+void UniqueFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+UniqueFd listen_on(ServeAddress* address, int backlog) {
+  if (address->is_unix) {
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      throw IoError(format("serve: socket(AF_UNIX): %s", std::strerror(errno)));
+    }
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::strncpy(sun.sun_path, address->path.c_str(), sizeof(sun.sun_path) - 1);
+    ::unlink(address->path.c_str());  // stale socket from a dead daemon
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      throw IoError(format("serve: bind(%s): %s", address->path.c_str(),
+                           std::strerror(errno)));
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      throw IoError(format("serve: listen(%s): %s", address->path.c_str(),
+                           std::strerror(errno)));
+    }
+    return fd;
+  }
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw IoError(format("serve: socket(AF_INET): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(static_cast<uint16_t>(address->port));
+  if (::inet_pton(AF_INET, address->host.c_str(), &sin.sin_addr) != 1) {
+    throw IoError(format("serve: bad IPv4 listen host '%s' (use a numeric "
+                         "address)", address->host.c_str()));
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    throw IoError(format("serve: bind(%s): %s", address->describe().c_str(),
+                         std::strerror(errno)));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw IoError(format("serve: listen(%s): %s", address->describe().c_str(),
+                         std::strerror(errno)));
+  }
+  if (address->port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      throw IoError(format("serve: getsockname: %s", std::strerror(errno)));
+    }
+    address->port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd connect_to(const ServeAddress& address) {
+  if (address.is_unix) {
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      throw IoError(format("serve: socket(AF_UNIX): %s", std::strerror(errno)));
+    }
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::strncpy(sun.sun_path, address.path.c_str(), sizeof(sun.sun_path) - 1);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+      throw IoError(format("serve: connect(%s): %s", address.path.c_str(),
+                           std::strerror(errno)));
+    }
+    return fd;
+  }
+
+  // Resolve names (localhost etc.) through getaddrinfo for the connect side;
+  // the listen side stays numeric-only on purpose.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = format("%d", address.port);
+  const int rc = ::getaddrinfo(address.host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw IoError(format("serve: resolve '%s': %s", address.host.c_str(),
+                         gai_strerror(rc)));
+  }
+  UniqueFd fd;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd attempt(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!attempt.valid()) continue;
+    if (::connect(attempt.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd = std::move(attempt);
+      break;
+    }
+    last_error = std::strerror(errno);
+  }
+  ::freeaddrinfo(res);
+  if (!fd.valid()) {
+    throw IoError(format("serve: connect(%s): %s", address.describe().c_str(),
+                         last_error.c_str()));
+  }
+  return fd;
+}
+
+}  // namespace rotsv

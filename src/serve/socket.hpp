@@ -1,0 +1,68 @@
+// Listen/connect helpers for the screening service: TCP and Unix-domain
+// stream sockets behind one address grammar.
+//
+//   "unix:/run/rotsv.sock"   Unix-domain socket at that path
+//   "127.0.0.1:7341"         TCP on that host:port
+//   "127.0.0.1:0"            TCP on an OS-assigned port (tests/CI); the
+//                            bound port is reported back by listen_on
+//
+// Everything returns plain blocking file descriptors -- the server
+// multiplexes with poll(), the client and workers use blocking framed I/O
+// (util/framing.hpp).
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace rotsv {
+
+/// Parsed service address. Throws ConfigError on a malformed string.
+struct ServeAddress {
+  bool is_unix = false;
+  std::string path;  ///< unix socket path (is_unix)
+  std::string host;  ///< TCP host (numeric or name)
+  int port = 0;      ///< TCP port; 0 = OS-assigned (listen only)
+
+  static ServeAddress parse(const std::string& text);
+
+  /// Canonical string form, e.g. "unix:/tmp/s.sock" or "127.0.0.1:7341".
+  std::string describe() const;
+};
+
+/// Owns a file descriptor; closes on destruction. Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening socket for `address`. A stale Unix socket path is
+/// unlinked first (the fab-floor daemon restart case); TCP listeners set
+/// SO_REUSEADDR. When the address asked for port 0, `address` is updated in
+/// place with the port the OS assigned. Throws IoError on failure.
+UniqueFd listen_on(ServeAddress* address, int backlog = 16);
+
+/// Connects to a listening service. Throws IoError when the service is not
+/// reachable.
+UniqueFd connect_to(const ServeAddress& address);
+
+}  // namespace rotsv

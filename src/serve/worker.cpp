@@ -1,0 +1,68 @@
+#include "serve/worker.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include "campaign/executor.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+
+int run_worker_loop(int in_fd, int out_fd, const WorkerOptions& options) {
+  // A cancelled scheduler closes our stdout; let the write fail as IoError
+  // (clean nonzero exit) instead of dying to SIGPIPE mid-frame.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    MsgType type{};
+    JsonRecord body;
+    if (!recv_message(in_fd, &type, &body)) return 0;  // spawned, never used
+    require(type == MsgType::kWorkerInit,
+            format("worker: expected worker-init, got %s",
+                   msg_type_name(type)));
+    const CampaignSpec spec = campaign_spec_from_record(body);
+    require(body.has("bands"), "worker: worker-init carries no bands");
+    const auto bands = bands_from_string(body.get_string("bands"));
+    const PreBondTsvTester tester = make_banded_tester(spec, bands);
+
+    JsonRecord ready;
+    ready.set("pid", static_cast<uint64_t>(::getpid()));
+    send_message(out_fd, MsgType::kWorkerReady, ready);
+
+    int verdicts = 0;
+    while (recv_message(in_fd, &type, &body)) {
+      require(type == MsgType::kAssignShard,
+              format("worker: expected assign-shard, got %s",
+                     msg_type_name(type)));
+      const uint64_t shard = body.get_uint64("shard");
+      const std::vector<int> dice =
+          dice_from_string(body.get_string("dice"), spec);
+      for (int g : dice) {
+        int wafer = 0, row = 0, col = 0;
+        spec.die_site(g, &wafer, &row, &col);
+        const DieResult die = screen_die(spec, tester, wafer, row, col);
+        JsonRecord verdict = die_result_to_record(die);
+        verdict.set("shard", shard);
+        send_message(out_fd, MsgType::kVerdict, verdict);
+        ++verdicts;
+        if (options.kill_after >= 0 && verdicts >= options.kill_after) {
+          // Deterministic crash for chaos tests: die mid-shard, after the
+          // verdict frame is on the wire, with no chance to say shard-done.
+          ::raise(SIGKILL);
+        }
+      }
+      JsonRecord done;
+      done.set("shard", shard).set("dice",
+                                   static_cast<uint64_t>(dice.size()));
+      send_message(out_fd, MsgType::kShardDone, done);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "rotsv_worker[%d]: %s\n", ::getpid(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace rotsv

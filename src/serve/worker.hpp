@@ -1,0 +1,31 @@
+// rotsv_worker process body: one screening worker on the far side of a
+// fork/exec, speaking protocol frames over its stdin/stdout pipe pair.
+//
+// Lifecycle: the scheduler sends worker-init (spec + calibration bands); the
+// worker builds a banded tester (no re-calibration) and answers worker-ready.
+// Each assign-shard names dice by global index; the worker screens them in
+// order, streaming one verdict frame per die, and closes the shard with
+// shard-done. EOF on stdin is the shutdown signal. The worker NEVER writes
+// prose to stdout -- that fd carries frames; diagnostics go to stderr.
+//
+// Determinism: a die's verdict depends only on (spec, die index, bands), so
+// any worker, any shard order, and any crash/reassignment sequence produces
+// bit-identical results.
+#pragma once
+
+namespace rotsv {
+
+struct WorkerOptions {
+  /// Chaos hook: after streaming this many verdicts the worker SIGKILLs
+  /// itself mid-shard (deterministically -- no signal race), exercising the
+  /// scheduler's death detection and shard reassignment. <0 disables.
+  int kill_after = -1;
+};
+
+/// Runs the worker conversation over the given descriptors until EOF.
+/// Returns the process exit code (0 on clean shutdown). Protocol and
+/// screening errors are reported as stderr diagnostics with a nonzero
+/// return, never thrown past this function.
+int run_worker_loop(int in_fd, int out_fd, const WorkerOptions& options = {});
+
+}  // namespace rotsv

@@ -1,0 +1,121 @@
+#include "util/framing.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/jsonl.hpp"
+#include "util/strings.hpp"
+
+namespace rotsv {
+namespace {
+
+constexpr uint8_t kMagic0 = 'R';
+constexpr uint8_t kMagic1 = 'F';
+constexpr size_t kHeaderBytes = 8;
+
+void put_u32le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void write_all(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(format("frame write failed on fd %d: %s", fd,
+                           std::strerror(errno)));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+bool read_exact(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(format("frame read failed on fd %d: %s", fd,
+                           std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a boundary
+      throw IoError(format("peer closed fd %d mid-frame (%zu/%zu bytes)", fd,
+                           got, len));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string encode_frame(const Frame& frame) {
+  require(frame.payload.size() <= kMaxFramePayload,
+          "frame payload exceeds kMaxFramePayload");
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size() + 4);
+  out.push_back(static_cast<char>(kMagic0));
+  out.push_back(static_cast<char>(kMagic1));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(frame.type));
+  put_u32le(&out, static_cast<uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  put_u32le(&out, jsonl_crc32(frame.payload));
+  return out;
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  write_all(fd, wire.data(), wire.size());
+}
+
+bool read_frame(int fd, Frame* out) {
+  unsigned char header[kHeaderBytes];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  if (header[0] != kMagic0 || header[1] != kMagic1) {
+    throw IoError(format("bad frame magic 0x%02x%02x on fd %d", header[0],
+                         header[1], fd));
+  }
+  if (header[2] != kFrameVersion) {
+    throw IoError(format("unsupported frame version %u (expected %u)",
+                         header[2], kFrameVersion));
+  }
+  const uint32_t len = get_u32le(header + 4);
+  if (len > kMaxFramePayload) {
+    throw IoError(format("frame length %u exceeds the %u-byte cap", len,
+                         kMaxFramePayload));
+  }
+  out->type = header[3];
+  out->payload.resize(len);
+  if (len > 0 && !read_exact(fd, out->payload.data(), len)) {
+    throw IoError(format("peer closed fd %d before the frame payload", fd));
+  }
+  unsigned char crc_bytes[4];
+  if (!read_exact(fd, crc_bytes, sizeof(crc_bytes))) {
+    throw IoError(format("peer closed fd %d before the frame CRC", fd));
+  }
+  const uint32_t expected = get_u32le(crc_bytes);
+  const uint32_t actual = jsonl_crc32(out->payload);
+  if (expected != actual) {
+    throw IoError(format("frame CRC mismatch on fd %d: stored %08x, computed "
+                         "%08x", fd, expected, actual));
+  }
+  return true;
+}
+
+}  // namespace rotsv

@@ -1,0 +1,61 @@
+// Length-prefixed binary framing over file descriptors (sockets, pipes).
+//
+// The wire unit of the rotsv::serve protocol: a fixed 8-byte header, a
+// payload, and a trailing CRC-32 of the payload, so a torn or bit-rotted
+// frame is detected at the transport layer instead of surfacing as a
+// half-parsed message.
+//
+//   offset  size  field
+//   0       1     magic 'R'
+//   1       1     magic 'F'
+//   2       1     protocol version (kFrameVersion)
+//   3       1     frame type (opaque to this layer)
+//   4       4     payload length, little-endian
+//   8       len   payload bytes
+//   8+len   4     CRC-32 (IEEE, reflected) of the payload, little-endian
+//
+// Reads and writes are blocking and retry on EINTR; callers multiplex with
+// poll() and only read when a descriptor is readable. A clean EOF *between*
+// frames is a normal shutdown (read_frame returns false); EOF inside a frame
+// is a torn peer and throws IoError, as do bad magic, an unsupported
+// version, an oversized length, and a CRC mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rotsv {
+
+constexpr uint8_t kFrameVersion = 1;
+
+/// Frames larger than this are rejected on both ends: a corrupt length
+/// field must not make the reader try to allocate gigabytes.
+constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Writes `data` fully to `fd`, retrying short writes and EINTR.
+/// Throws IoError when the descriptor errors (e.g. EPIPE on a dead peer).
+void write_all(int fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes into `buf`. Returns false on EOF before the
+/// first byte (clean close); throws IoError on EOF mid-read or on a
+/// descriptor error.
+bool read_exact(int fd, void* buf, size_t len);
+
+/// Serializes one frame (header + payload + CRC) into a byte string.
+std::string encode_frame(const Frame& frame);
+
+/// Writes one frame to `fd` as a single write_all (atomic for pipe-sized
+/// frames, which keeps interleaved writers from different threads sane).
+void write_frame(int fd, const Frame& frame);
+
+/// Reads one frame. Returns false on clean EOF at a frame boundary; throws
+/// IoError (FailureKind::kIoError) on torn frames, bad magic/version,
+/// oversized length, or a payload CRC mismatch.
+bool read_frame(int fd, Frame* out);
+
+}  // namespace rotsv

@@ -1,0 +1,288 @@
+// System suite for rotsv::serve: a real ScreeningServer on a loopback
+// socket, real fork/exec'd rotsv_worker processes, and a ServeClient driving
+// the whole protocol end to end.
+//
+// The central property: a campaign screened through the server -- sharded
+// over worker processes, streamed over the wire, spooled to the colstore,
+// even with a worker SIGKILLed mid-shard -- produces verdicts and a
+// ScreenQuality ledger BIT-IDENTICAL to a single-process run_campaign().
+// Verdicts are pure functions of (spec, die index, bands); no amount of
+// process churn may bend one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "campaign/campaign.hpp"
+#include "serve/client.hpp"
+#include "serve/colstore.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+#ifndef ROTSV_WORKER_PATH
+#error "ROTSV_WORKER_PATH must point at the rotsv_worker binary"
+#endif
+
+namespace rotsv {
+namespace {
+
+using testutil::fast_run;
+
+std::pair<double, double> nominal_band() {
+  static const std::pair<double, double> band = [] {
+    RingOscillator ro(testutil::small_ring());
+    const DeltaTResult nominal = measure_delta_t(ro, 1, fast_run());
+    return std::make_pair(nominal.delta_t - 80e-12, nominal.delta_t + 80e-12);
+  }();
+  return band;
+}
+
+/// Same 3x4 / 8-die lot as the chaos suite: one voltage, preset band,
+/// strong defects, seed 11 -- small enough that a full screen is cheap,
+/// defective enough that every verdict bin gets exercised.
+CampaignSpec serve_campaign() {
+  CampaignSpec spec;
+  spec.lot_id = "serve";
+  spec.wafers = 1;
+  spec.rows = 3;
+  spec.cols = 4;
+  spec.tester.group_size = 2;
+  spec.tester.voltages = {1.1};
+  spec.tester.run = fast_run();
+  spec.tester.calibration_samples = 2;
+  spec.mix.open_rate = 0.25;
+  spec.mix.leak_rate = 0.25;
+  spec.mix.open_r_min = 5e4;
+  spec.mix.open_r_max = 1e6;
+  spec.mix.leak_r_min = 400.0;
+  spec.mix.leak_r_max = 1200.0;
+  spec.seed = 11;
+  spec.threads = 1;
+  spec.preset_bands = {nominal_band()};
+  return spec;
+}
+
+std::string verdict_string(std::vector<DieResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const DieResult& a, const DieResult& b) { return a.die < b.die; });
+  std::string out;
+  for (const DieResult& d : results) {
+    out += format("%d:%s ", d.die, d.tsv_verdicts.c_str());
+  }
+  return out;
+}
+
+/// The single-process ground truth every server-mode test compares against.
+const CampaignReport& local_reference() {
+  static const CampaignReport report = run_campaign(serve_campaign());
+  return report;
+}
+
+ServeOptions loopback_options() {
+  ServeOptions options;
+  options.listen = "127.0.0.1:0";
+  options.workers = 2;
+  options.shard_size = 3;  // 8 dice over shards of 3: workers trade shards
+  options.worker_path = ROTSV_WORKER_PATH;
+  return options;
+}
+
+/// A live server on an OS-assigned loopback port, run() on its own thread.
+struct LiveServer {
+  explicit LiveServer(ServeOptions options)
+      : server(std::move(options)),
+        address(server.address().describe()),
+        thread([this] { server.run(); }) {}
+
+  /// Must be called (via client.shutdown()) before destruction.
+  void join() { thread.join(); }
+
+  ScreeningServer server;
+  std::string address;
+  std::thread thread;
+};
+
+TEST(Serve, LoopbackRunIsBitIdenticalToLocal) {
+  const CampaignSpec spec = serve_campaign();
+  const CampaignReport& local = local_reference();
+
+  LiveServer live(loopback_options());
+  ServeClient client(live.address);
+  std::vector<DieResult> streamed;
+  StreamingAggregate agg(spec);
+  const JobSummary summary = client.submit_and_stream(spec, [&](const DieResult& d) {
+    streamed.push_back(d);
+    agg.add(d);
+  });
+  client.shutdown();
+  live.join();
+
+  EXPECT_EQ(summary.state, "done");
+  EXPECT_EQ(summary.total, spec.total_dice());
+  EXPECT_EQ(summary.screened, spec.total_dice());
+  EXPECT_EQ(summary.resumed, 0);
+  EXPECT_EQ(summary.fingerprint, spec.fingerprint());
+
+  // Verdict-by-verdict bit identity with the single-process run.
+  ASSERT_EQ(streamed.size(), local.results.size());
+  EXPECT_EQ(verdict_string(streamed), verdict_string(local.results));
+
+  // The aggregates agree on all three sides: the client's streaming fold,
+  // the server's job-done summary, and the local reference.
+  const CampaignAggregate& ref = local.aggregate;
+  EXPECT_EQ(agg.aggregate().describe(), ref.describe());
+  EXPECT_EQ(summary.die_bins.pass, ref.die_bins.pass);
+  EXPECT_EQ(summary.die_bins.open, ref.die_bins.open);
+  EXPECT_EQ(summary.die_bins.leak, ref.die_bins.leak);
+  EXPECT_EQ(summary.die_bins.stuck, ref.die_bins.stuck);
+  EXPECT_EQ(summary.die_bins.inconclusive, ref.die_bins.inconclusive);
+  EXPECT_EQ(summary.quality.caught, ref.quality.caught);
+  EXPECT_EQ(summary.quality.escapes, ref.quality.escapes);
+  EXPECT_EQ(summary.quality.overkill, ref.quality.overkill);
+  EXPECT_EQ(summary.quality.quarantined, ref.quality.quarantined);
+
+  // The server's completed-job ledger saw the same run.
+  ASSERT_EQ(live.server.jobs().size(), 1u);
+  EXPECT_EQ(live.server.jobs()[0].state, "done");
+  EXPECT_EQ(live.server.jobs()[0].screened, spec.total_dice());
+}
+
+TEST(Serve, SigkilledWorkerShardIsReassignedBitIdentically) {
+  const CampaignSpec spec = serve_campaign();
+  const CampaignReport& local = local_reference();
+
+  ServeOptions options = loopback_options();
+  // Chaos: the first worker SIGKILLs itself two verdicts into its shard.
+  // Its unacknowledged dice must be reassigned and re-screened.
+  options.inject_worker_kill = 2;
+  LiveServer live(options);
+  ServeClient client(live.address);
+  std::vector<DieResult> streamed;
+  const JobSummary summary = client.submit_and_stream(
+      spec, [&](const DieResult& d) { streamed.push_back(d); });
+  client.shutdown();
+  live.join();
+
+  EXPECT_EQ(summary.state, "done");
+  EXPECT_GE(summary.restarts, 1) << "the injected kill must have fired";
+  ASSERT_EQ(streamed.size(), local.results.size());
+  EXPECT_EQ(verdict_string(streamed), verdict_string(local.results));
+}
+
+TEST(Serve, ColstoreResumeReplaysWithoutRescreening) {
+  const CampaignSpec spec = serve_campaign();
+  const CampaignReport& local = local_reference();
+  const std::string store = ::testing::TempDir() + "rotsv_serve_resume.rcs";
+  std::remove(store.c_str());
+
+  ServeOptions options = loopback_options();
+  options.store_path = store;
+  {
+    LiveServer live(options);
+    ServeClient client(live.address);
+    const JobSummary summary = client.submit_and_stream(spec);
+    EXPECT_EQ(summary.state, "done");
+    EXPECT_EQ(summary.screened, spec.total_dice());
+
+    // Replay a finished job from the store: the full verdict stream again,
+    // served straight off disk.
+    std::vector<DieResult> replayed;
+    const JobSummary replay = client.stream_verdicts(
+        summary.job, [&](const DieResult& d) { replayed.push_back(d); });
+    EXPECT_EQ(replay.state, "done");
+    EXPECT_EQ(verdict_string(replayed), verdict_string(local.results));
+
+    client.shutdown();
+    live.join();
+  }
+
+  // A fresh server process over the same spool: resubmitting the same
+  // campaign recovers every die from the colstore and screens nothing.
+  {
+    LiveServer live(options);
+    ServeClient client(live.address);
+    std::vector<DieResult> streamed;
+    const JobSummary summary = client.submit_and_stream(
+        spec, [&](const DieResult& d) { streamed.push_back(d); });
+    client.shutdown();
+    live.join();
+
+    EXPECT_EQ(summary.state, "done");
+    EXPECT_EQ(summary.resumed, spec.total_dice());
+    EXPECT_EQ(summary.screened, 0);
+    EXPECT_EQ(verdict_string(streamed), verdict_string(local.results));
+  }
+  std::remove(store.c_str());
+}
+
+TEST(Serve, PreflightRejectionCarriesDiagnosticsAndCostsNoSimulation) {
+  LiveServer live(loopback_options());
+  ServeClient client(live.address);
+
+  CampaignSpec bad = serve_campaign();
+  bad.tester.run.first_window = 0.0;  // analyzer: bad-run-window error
+  bool threw = false;
+  try {
+    client.submit_and_stream(bad);
+  } catch (const RemoteError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), FailureKind::kNone) << "preflight is not an I/O fault";
+    EXPECT_FALSE(e.wire().detail.empty())
+        << "the analyzer's diagnostic list must ride the wire error";
+  }
+  EXPECT_TRUE(threw);
+
+  // The rejection must not wedge the server: the same connection's next
+  // submit runs fine.
+  const JobSummary summary = client.submit_and_stream(serve_campaign());
+  EXPECT_EQ(summary.state, "done");
+  client.shutdown();
+  live.join();
+
+  // Ledger: one failed entry, one done entry.
+  ASSERT_EQ(live.server.jobs().size(), 2u);
+  EXPECT_EQ(live.server.jobs()[0].state, "failed");
+  EXPECT_EQ(live.server.jobs()[1].state, "done");
+}
+
+TEST(Serve, UnixSocketTransport) {
+  const std::string sock = ::testing::TempDir() + "rotsv_serve_test.sock";
+  ServeOptions options = loopback_options();
+  options.listen = "unix:" + sock;
+  LiveServer live(options);
+  ASSERT_EQ(live.address, "unix:" + sock);
+
+  const CampaignSpec spec = serve_campaign();
+  ServeClient client(live.address);
+  std::vector<DieResult> streamed;
+  const JobSummary summary = client.submit_and_stream(
+      spec, [&](const DieResult& d) { streamed.push_back(d); });
+  client.shutdown();
+  live.join();
+
+  EXPECT_EQ(summary.state, "done");
+  EXPECT_EQ(verdict_string(streamed), verdict_string(local_reference().results));
+  std::remove(sock.c_str());
+}
+
+TEST(Serve, SchedulerRejectsBadShardConfig) {
+  // The analyzer gate: a zero-worker or zero-shard fleet refuses to start.
+  ServeOptions options = loopback_options();
+  options.workers = 0;
+  EXPECT_THROW(ScreeningServer{std::move(options)}, AnalysisError);
+
+  ServeOptions options2 = loopback_options();
+  options2.shard_size = 0;
+  EXPECT_THROW(ScreeningServer{std::move(options2)}, AnalysisError);
+}
+
+}  // namespace
+}  // namespace rotsv

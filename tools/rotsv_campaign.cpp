@@ -9,6 +9,8 @@
 //   rotsv_campaign --wafers 2 --rows 12 --cols 12 --threads 8 --out lot0.jsonl
 //   rotsv_campaign --resume --out lot0.jsonl ...same flags...   # after a kill
 //   rotsv_campaign --fast --rows 6 --cols 6                     # quick smoke
+//   rotsv_campaign --server 127.0.0.1:7209 ...spec flags...     # remote run
+//   rotsv_campaign --out lot0.jsonl --to-colstore lot0.rcs ...  # convert
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +19,9 @@
 
 #include "analyze/analyze.hpp"
 #include "campaign/campaign.hpp"
+#include "serve/client.hpp"
+#include "serve/colstore.hpp"
+#include "serve/protocol.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -49,7 +54,11 @@ void usage(const char* argv0) {
       "  --inject SPEC   chaos fault plan: solve@N, io@N, kill@K (comma-sep)\n"
       "  --fast          short simulation windows (demo/smoke speed)\n"
       "  --no-preflight  skip the static spec analysis before screening\n"
-      "  --quiet         suppress per-die progress\n",
+      "  --quiet         suppress per-die progress\n"
+      "  --server ADDR   submit to a rotsv_serve daemon (unix:PATH or\n"
+      "                  HOST:PORT) instead of screening locally\n"
+      "  --to-colstore PATH    convert --out JSONL -> binary colstore, exit\n"
+      "  --from-colstore PATH  convert binary colstore -> --out JSONL, exit\n",
       argv0);
 }
 
@@ -89,6 +98,9 @@ int main(int argc, char** argv) {
 
   std::string out_path = "campaign_results.jsonl";
   std::string inject_spec;
+  std::string server_addr;
+  std::string to_colstore;
+  std::string from_colstore;
   bool resume = false;
   bool fast = false;
   bool quiet = false;
@@ -99,7 +111,7 @@ int main(int argc, char** argv) {
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -133,7 +145,7 @@ int main(int argc, char** argv) {
         double v = 0.0;
         if (!parse_double(tok.c_str(), &v)) {
           std::fprintf(stderr, "bad voltage '%s'\n", tok.c_str());
-          return 2;
+          return kExitUsage;
         }
         spec.tester.voltages.push_back(v);
       }
@@ -159,6 +171,12 @@ int main(int argc, char** argv) {
            spec.tester.die_budget.max_seconds >= 0.0;
     } else if (arg == "--inject") {
       inject_spec = value();
+    } else if (arg == "--server") {
+      server_addr = value();
+    } else if (arg == "--to-colstore") {
+      to_colstore = value();
+    } else if (arg == "--from-colstore") {
+      from_colstore = value();
     } else if (arg == "--fast") {
       fast = true;
     } else if (arg == "--no-preflight") {
@@ -168,11 +186,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
-      return 2;
+      return kExitUsage;
     }
     if (!ok) {
       std::fprintf(stderr, "bad value for %s\n", arg.c_str());
-      return 2;
+      return kExitUsage;
     }
   }
 
@@ -183,6 +201,58 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --- conversion modes: no screening, just the result-store codecs -------
+    if (!to_colstore.empty() || !from_colstore.empty()) {
+      if (!to_colstore.empty() && !from_colstore.empty()) {
+        std::fprintf(stderr,
+                     "--to-colstore and --from-colstore are exclusive\n");
+        return kExitUsage;
+      }
+      spec.validate();
+      if (!to_colstore.empty()) {
+        const size_t n = import_jsonl_to_colstore(out_path, to_colstore, spec);
+        std::printf("converted %zu die record(s): %s -> %s\n", n,
+                    out_path.c_str(), to_colstore.c_str());
+      } else {
+        const size_t n = export_colstore_to_jsonl(from_colstore, out_path, spec);
+        std::printf("converted %zu die record(s): %s -> %s\n", n,
+                    from_colstore.c_str(), out_path.c_str());
+      }
+      return kExitOk;
+    }
+
+    // --- client mode: ship the spec to a rotsv_serve daemon -----------------
+    if (!server_addr.empty()) {
+      spec.validate();
+      const int total = spec.total_dice();
+      std::printf("campaign %s via %s: %d dice, fingerprint %s\n",
+                  spec.lot_id.c_str(), server_addr.c_str(), total,
+                  spec.fingerprint().c_str());
+      ServeClient client(server_addr);
+      // Client-side streaming aggregation: wafer maps and the quality ledger
+      // build up verdict by verdict, bit-identical to a local run's.
+      StreamingAggregate agg(spec);
+      int done = 0;
+      const JobSummary summary = client.submit_and_stream(
+          spec, [&](const DieResult& die) {
+            agg.add(die);
+            ++done;
+            if (!quiet) {
+              std::printf("  [%4d/%4d] w%d (%2d,%2d) -> %s\n", done, total,
+                          die.wafer, die.row, die.col,
+                          verdict_name(die.verdict));
+              std::fflush(stdout);
+            }
+          });
+      std::printf("\njob %llu %s: %d screened, %d resumed, %d worker "
+                  "restart(s)\n",
+                  static_cast<unsigned long long>(summary.job),
+                  summary.state.c_str(), summary.screened, summary.resumed,
+                  summary.restarts);
+      std::printf("\n%s", agg.aggregate().describe().c_str());
+      return summary.state == "done" ? kExitOk : kExitDiagnostics;
+    }
+
     if (preflight) {
       // Analyze before constructing anything so a bad spec prints the full
       // located diagnostic list (exit 1) rather than the first bare
@@ -252,6 +322,13 @@ int main(int argc, char** argv) {
   } catch (const AnalysisError& e) {
     std::fprintf(stderr, "preflight rejected the campaign spec:\n%s",
                  e.report().describe().c_str());
+    return kExitDiagnostics;
+  } catch (const RemoteError& e) {
+    std::fprintf(stderr, "server rejected the job: %s\n", e.what());
+    if (!e.wire().detail.empty()) {
+      std::fprintf(stderr, "%s", e.wire().detail.c_str());
+      if (e.wire().detail.back() != '\n') std::fprintf(stderr, "\n");
+    }
     return kExitDiagnostics;
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", describe_cli_error("", e).c_str());

@@ -1,0 +1,121 @@
+// rotsv_serve: the campaign screening daemon.
+//
+// Binds a TCP or Unix listen socket, then serves screening jobs submitted by
+// rotsv_campaign --server: each job's CampaignSpec is preflighted by the
+// static analyzer, sharded across rotsv_worker processes, streamed back as
+// verdict frames, and spooled to a binary colstore that a resubmission
+// resumes from. A SIGKILLed worker costs nothing but a respawn -- its
+// unfinished dice are reassigned and re-screened bit-identically.
+//
+// Examples:
+//   rotsv_serve --listen 127.0.0.1:7209 --workers 4 --store lot0.rcs
+//   rotsv_serve --listen unix:/tmp/rotsv.sock --workers 2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace rotsv;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --listen ADDR        unix:PATH or HOST:PORT; port 0 = OS-assigned\n"
+      "                       (default 127.0.0.1:0, bound port printed)\n"
+      "  --workers N          worker processes per job (default 2)\n"
+      "  --shard N            dice per shard assignment (default 8)\n"
+      "  --worker PATH        rotsv_worker binary (default: beside this one)\n"
+      "  --store PATH         colstore result spool (.rcs); enables resume\n"
+      "  --max-restarts N     worker respawn budget per job (default 8)\n"
+      "  --kill-worker-after N  chaos: first worker SIGKILLs itself after N\n"
+      "                         verdicts (tests the reassignment path)\n"
+      "  --quiet              suppress the job lifecycle log on stderr\n",
+      argv0);
+}
+
+bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// rotsv_worker ships next to rotsv_serve; default to that location.
+std::string sibling_worker_path(const char* argv0) {
+  const std::string self = argv0;
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "rotsv_worker";
+  return self.substr(0, slash + 1) + "rotsv_worker";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  options.verbose = true;
+  options.worker_path = sibling_worker_path(argv[0]);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return kExitOk;
+    } else if (arg == "--listen") {
+      options.listen = value();
+    } else if (arg == "--workers") {
+      ok = parse_int(value(), &options.workers);
+    } else if (arg == "--shard") {
+      ok = parse_int(value(), &options.shard_size);
+    } else if (arg == "--worker") {
+      options.worker_path = value();
+    } else if (arg == "--store") {
+      options.store_path = value();
+    } else if (arg == "--max-restarts") {
+      ok = parse_int(value(), &options.max_restarts);
+    } else if (arg == "--kill-worker-after") {
+      ok = parse_int(value(), &options.inject_worker_kill);
+    } else if (arg == "--quiet") {
+      options.verbose = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return kExitUsage;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+
+  try {
+    ScreeningServer server(std::move(options));
+    // The bound address goes to stdout (and is flushed) so scripts binding
+    // port 0 can read the real endpoint before connecting.
+    std::printf("listening on %s\n", server.address().describe().c_str());
+    std::fflush(stdout);
+    server.run();
+    return kExitOk;
+  } catch (const AnalysisError& e) {
+    std::fprintf(stderr, "serve configuration rejected:\n%s",
+                 e.report().describe().c_str());
+    return kExitDiagnostics;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", describe_cli_error("", e).c_str());
+    return cli_exit_code(e);
+  }
+}

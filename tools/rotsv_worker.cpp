@@ -1,0 +1,60 @@
+// rotsv_worker: screening worker process, spawned by rotsv_serve's shard
+// scheduler (never run by hand). Speaks protocol frames on stdin/stdout --
+// worker-init, assign-shard in; worker-ready, verdict, shard-done out --
+// and exits on stdin EOF. Diagnostics go to stderr; stdout carries frames
+// ONLY.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+#include "serve/worker.hpp"
+#include "util/cli.hpp"
+
+using namespace rotsv;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--kill-after N]\n"
+               "  (frame protocol on stdin/stdout; spawned by rotsv_serve)\n"
+               "  --kill-after N  chaos hook: SIGKILL self after N verdicts\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return kExitOk;
+    } else if (arg == "--kill-after") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return kExitUsage;
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+        return kExitUsage;
+      }
+      options.kill_after = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return kExitUsage;
+    }
+  }
+  if (::isatty(STDOUT_FILENO)) {
+    std::fprintf(stderr,
+                 "rotsv_worker: stdout is a terminal; this tool speaks a "
+                 "binary frame protocol and is spawned by rotsv_serve\n");
+    return kExitUsage;
+  }
+  return run_worker_loop(STDIN_FILENO, STDOUT_FILENO, options);
+}
